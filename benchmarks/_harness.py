@@ -1,0 +1,45 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every ``bench_figXX`` module computes the corresponding figure's data
+series once (inside pytest-benchmark), prints it as an aligned table, and
+writes it to ``benchmarks/results/`` so the numbers survive the pytest
+output capture.  EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned text table."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{v:.3f}" if isinstance(v, float) else str(v) for v in row]
+        for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def emit(name: str, title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Print the series and persist it under benchmarks/results/."""
+    table = f"{title}\n\n{format_table(headers, rows)}\n"
+    print("\n" + table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(table)
+
+
+def run_once(benchmark, func):
+    """Run an expensive figure computation exactly once under
+    pytest-benchmark (the numbers of interest are the figure series, not
+    the wall time of regenerating them)."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

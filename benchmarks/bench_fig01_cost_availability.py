@@ -1,0 +1,46 @@
+"""Fig. 1 — Aggregated analysis cost vs. data availability period.
+
+Paper: 100 forward analyses at 50 % overlap on the COSMO cost scenario
+(Δr = 8 h, cache 25 %); SimFS cuts the 5-year cost from >$200k (on-disk)
+to <$100k, while in-situ is flat but expensive for recurring analyses.
+"""
+
+from _harness import emit, run_once
+
+from repro.costs import availability_sweep
+
+
+def compute():
+    return availability_sweep(
+        months_list=(6, 12, 24, 36, 48, 60),
+        restart_hours_list=(8.0,),
+        cache_fractions=(0.25,),
+        num_analyses=100,
+        overlap=0.5,
+    )
+
+
+def test_fig01_cost_availability(benchmark):
+    rows = run_once(benchmark, compute)
+    emit(
+        "fig01_cost_availability",
+        "Fig. 1: analysis cost (k$) over the data availability period "
+        "(100 analyses, 50% overlap, dr=8h, cache 25%)",
+        ["months", "on-disk k$", "in-situ k$", "SimFS k$", "winner"],
+        [
+            [int(r.months), r.on_disk / 1e3, r.in_situ / 1e3, r.simfs / 1e3,
+             r.winner]
+            for r in rows
+        ],
+    )
+    by_months = {r.months: r for r in rows}
+    # Paper headline claims: >$200k on-disk at 5 y, SimFS <$100k... our
+    # workload calibration differs (analysis length unpublished), so pin
+    # the shape: on-disk grows linearly, in-situ is flat, SimFS grows
+    # slower than on-disk and wins long availability periods.
+    assert by_months[60].on_disk > 190_000
+    assert by_months[6].in_situ == by_months[60].in_situ
+    simfs_growth = by_months[60].simfs - by_months[6].simfs
+    disk_growth = by_months[60].on_disk - by_months[6].on_disk
+    assert simfs_growth < disk_growth
+    assert by_months[60].simfs < by_months[60].on_disk

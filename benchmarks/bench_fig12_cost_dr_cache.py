@@ -1,0 +1,52 @@
+"""Fig. 12 — Data availability cost across restart intervals and cache
+sizes.
+
+Paper: the Fig. 1 experiment swept over Δr ∈ {4, 8, 16} h and SimFS cache
+sizes {25, 50} %.  Larger restart intervals need less restart storage but
+raise the SimFS cost for short availability periods (more expensive
+capacity misses — Δr acts as the cache block size).
+"""
+
+from _harness import emit, run_once
+
+from repro.costs import availability_sweep
+
+
+def compute():
+    return availability_sweep(
+        months_list=(6, 24, 60),
+        restart_hours_list=(4.0, 8.0, 16.0),
+        cache_fractions=(0.25, 0.5),
+        num_analyses=100,
+        overlap=0.5,
+    )
+
+
+def test_fig12_cost_dr_cache(benchmark):
+    rows = run_once(benchmark, compute)
+    emit(
+        "fig12_cost_dr_cache",
+        "Fig. 12: cost (k$) vs availability for dr in {4,8,16}h and "
+        "cache in {25,50}%",
+        ["months", "dr (h)", "cache", "on-disk k$", "in-situ k$",
+         "SimFS k$", "V (outputs)"],
+        [
+            [int(r.months), r.restart_hours, r.cache_fraction,
+             r.on_disk / 1e3, r.in_situ / 1e3, r.simfs / 1e3,
+             r.resim_outputs]
+            for r in rows
+        ],
+    )
+    by = {(r.months, r.restart_hours, r.cache_fraction): r for r in rows}
+    # Larger dr -> more capacity-miss re-simulation volume (short-dt cost).
+    assert (
+        by[(6, 16.0, 0.25)].resim_outputs
+        >= by[(6, 4.0, 0.25)].resim_outputs
+    )
+    # Bigger cache -> less re-simulation for the same dr.
+    assert (
+        by[(6, 8.0, 0.5)].resim_outputs
+        <= by[(6, 8.0, 0.25)].resim_outputs
+    )
+    # But bigger cache stores more: for long dt the storage term bites.
+    assert by[(60, 8.0, 0.5)].simfs >= by[(60, 8.0, 0.25)].simfs - 1e-6

@@ -1,0 +1,46 @@
+"""Fig. 13 — Data availability cost vs. analyses execution overlap.
+
+Paper: Δt = 2 y, 100 analyses; higher overlap interleaves analyses that
+access different output steps, reducing temporal locality and raising the
+number of (capacity) misses — amplified by larger Δr.
+"""
+
+from _harness import emit, run_once
+
+from repro.costs import overlap_sweep
+
+
+def compute():
+    return overlap_sweep(
+        overlaps=(0.0, 0.25, 0.5, 0.75, 1.0),
+        restart_hours_list=(4.0, 8.0, 16.0),
+        cache_fractions=(0.25, 0.5),
+        months=24.0,
+        num_analyses=40,
+        analysis_length=600,
+    )
+
+
+def test_fig13_overlap(benchmark):
+    rows = run_once(benchmark, compute)
+    emit(
+        "fig13_overlap",
+        "Fig. 13: cost (k$) vs analyses overlap (dt=2y, 40 analyses of 600 steps)",
+        ["overlap %", "dr (h)", "cache", "on-disk k$", "in-situ k$",
+         "SimFS k$", "V (outputs)"],
+        [
+            [int(r.overlap * 100), r.restart_hours, r.cache_fraction,
+             r.on_disk / 1e3, r.in_situ / 1e3, r.simfs / 1e3,
+             r.resim_outputs]
+            for r in rows
+        ],
+    )
+    by = {(r.overlap, r.restart_hours, r.cache_fraction): r for r in rows}
+    # Higher overlap -> strictly more or equal re-simulation volume.
+    for dr in (4.0, 8.0, 16.0):
+        assert (
+            by[(1.0, dr, 0.25)].resim_outputs
+            >= by[(0.0, dr, 0.25)].resim_outputs
+        )
+    # On-disk and in-situ are insensitive to overlap.
+    assert by[(0.0, 8.0, 0.25)].on_disk == by[(1.0, 8.0, 0.25)].on_disk

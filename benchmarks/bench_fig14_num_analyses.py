@@ -1,0 +1,48 @@
+"""Fig. 14 — Data availability cost vs. total number of analyses.
+
+Paper: Δt = 2 y, 50 % overlap.  Below ~20 analyses in-situ wins (the
+initial simulation + restart/cache storage exceed per-analysis coupled
+simulations); beyond that, in-situ's lack of sharing makes it the most
+expensive option.
+"""
+
+from _harness import emit, run_once
+
+from repro.costs import analyses_sweep
+
+
+def compute():
+    return analyses_sweep(
+        analysis_counts=(1, 5, 10, 20, 50, 75, 100, 125),
+        restart_hours_list=(4.0, 8.0, 16.0),
+        cache_fractions=(0.25, 0.5),
+        months=24.0,
+        overlap=0.5,
+        analysis_length=600,
+    )
+
+
+def test_fig14_num_analyses(benchmark):
+    rows = run_once(benchmark, compute)
+    emit(
+        "fig14_num_analyses",
+        "Fig. 14: cost (k$) vs number of analyses (dt=2y, 50% overlap)",
+        ["analyses", "dr (h)", "cache", "on-disk k$", "in-situ k$",
+         "SimFS k$", "winner"],
+        [
+            [r.num_analyses, r.restart_hours, r.cache_fraction,
+             r.on_disk / 1e3, r.in_situ / 1e3, r.simfs / 1e3, r.winner]
+            for r in rows
+        ],
+    )
+    series = {
+        r.num_analyses: r
+        for r in rows
+        if r.restart_hours == 8.0 and r.cache_fraction == 0.25
+    }
+    # in-situ scales linearly with z; SimFS sublinearly (shared cache).
+    assert series[125].in_situ > 100 * series[1].in_situ
+    assert series[125].simfs < 20 * series[1].simfs
+    # Crossover: in-situ wins for one analysis, loses for many.
+    assert series[1].in_situ < series[1].simfs
+    assert series[125].simfs < series[125].in_situ

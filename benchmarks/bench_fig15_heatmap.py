@@ -1,0 +1,80 @@
+"""Fig. 15 — (a) cost-effectiveness heatmap over (storage, compute) price
+points; (b) SimFS cost over restart-file space; (c) re-simulation compute
+time vs. space.
+
+Paper: 100 analyses, 50 % overlap, 3 y availability, cache 25 %; the
+heatmap marks the Microsoft Azure and Piz Daint price points, and the
+space plots annotate restart volumes 6.33/3.16/1.58/0.79 TiB for
+Δr = 4/8/16/32 h.
+"""
+
+from _harness import emit, run_once
+
+from repro.costs import AZURE_COSTS, PIZ_DAINT_COSTS, cost_ratio_heatmap, space_tradeoff
+
+
+def compute():
+    cells = cost_ratio_heatmap(
+        storage_costs=(0.02, 0.06, 0.12, 0.2, 0.3),
+        compute_costs=(0.5, 1.0, 2.0, 3.0),
+        months=36.0,
+        cache_fraction=0.25,
+        num_analyses=40,
+        analysis_length=600,
+        overlap=0.5,
+    )
+    space = space_tradeoff(
+        restart_hours_list=(4.0, 8.0, 16.0, 32.0),
+        cache_fractions=(0.25, 0.5),
+        months=36.0,
+        num_analyses=40,
+        analysis_length=600,
+        overlap=0.5,
+    )
+    return cells, space
+
+
+def test_fig15_heatmap_and_space(benchmark):
+    cells, space = run_once(benchmark, compute)
+    emit(
+        "fig15a_heatmap",
+        "Fig. 15a: min(on-disk, in-situ) / SimFS cost ratio over platform "
+        "prices (>1 means SimFS is cheapest)",
+        ["cs $/GiB/mo", "cc $/node/h", "ratio", "best alternative"],
+        [
+            [c["storage_cost"], c["compute_cost"], c["ratio"],
+             "on-disk" if c["on_disk"] < c["in_situ"] else "in-situ"]
+            for c in cells
+        ],
+    )
+    emit(
+        "fig15bc_space",
+        "Fig. 15b/c: SimFS cost and re-simulation time vs restart space "
+        "(dt=3y)",
+        ["dr (h)", "cache", "restarts TiB", "total TiB", "SimFS k$",
+         "resim hours"],
+        [
+            [r.restart_hours, r.cache_fraction, r.restart_space_tib,
+             r.total_space_tib, r.simfs_cost / 1e3, r.resim_hours]
+            for r in space
+        ],
+    )
+    # The Azure and Piz Daint datapoints are present (paper annotations).
+    points = {(c["storage_cost"], c["compute_cost"]) for c in cells}
+    assert (AZURE_COSTS["storage_cost"], AZURE_COSTS["compute_cost"]) in points
+    assert (
+        PIZ_DAINT_COSTS["storage_cost"],
+        PIZ_DAINT_COSTS["compute_cost"],
+    ) in points
+    # Fig. 15b annotation: restart volumes halve as dr doubles
+    # (6.33 -> 3.16 -> 1.58 -> 0.79 TiB).
+    by_dr = {r.restart_hours: r for r in space if r.cache_fraction == 0.25}
+    assert abs(by_dr[4.0].restart_space_tib - 6.33) < 0.35
+    assert abs(by_dr[8.0].restart_space_tib - 3.16) < 0.2
+    assert abs(by_dr[16.0].restart_space_tib - 1.58) < 0.1
+    assert abs(by_dr[32.0].restart_space_tib - 0.79) < 0.05
+    # Fig. 15c: the 50% cache never needs more re-simulation time.
+    for dr in (4.0, 8.0, 16.0, 32.0):
+        big = [r for r in space if r.restart_hours == dr and r.cache_fraction == 0.5][0]
+        small = [r for r in space if r.restart_hours == dr and r.cache_fraction == 0.25][0]
+        assert big.resim_hours <= small.resim_hours + 1e-9

@@ -1,0 +1,53 @@
+"""Fig. 17 — Prefetching COSMO simulations under different restart
+latencies and analysis lengths.
+
+Paper: synthetic simulator with the COSMO production rate (τsim = 3 s),
+αsim swept to 600 s (modelling job-queueing time), m ∈ {72, 288, 1152},
+smax = 8.  Expected shape: running time grows with αsim; for short
+analyses it converges to the prefetching warm-up T_pre (bounded by ~2x
+T_single); longer analyses amortize the warm-up and approach T_lower.
+"""
+
+from _harness import emit, run_once
+
+from repro.des import latency_experiment
+from repro.simulators import COSMO_EVAL_CONFIG, COSMO_EVAL_PERF
+
+
+def compute():
+    return latency_experiment(
+        COSMO_EVAL_CONFIG,
+        COSMO_EVAL_PERF,
+        alpha_values=(0.0, 100.0, 200.0, 300.0, 450.0, 600.0),
+        m_values=(72, 288, 1152),
+        smax=8,
+        tau_cli=0.1,
+    )
+
+
+def test_fig17_cosmo_latency(benchmark):
+    points = run_once(benchmark, compute)
+    emit(
+        "fig17_cosmo_latency",
+        "Fig. 17: COSMO analysis time vs restart latency (smax=8)",
+        ["alpha (s)", "m", "SimFS (s)", "T_single", "T_lower", "T_pre"],
+        [
+            [p.alpha_sim, p.m, p.running_time, p.t_single, p.t_lower, p.t_pre]
+            for p in points
+        ],
+    )
+    for m in (72, 288, 1152):
+        series = sorted((p for p in points if p.m == m), key=lambda p: p.alpha_sim)
+        times = [p.running_time for p in series]
+        # Rising trend overall; local dips are legitimate — the paper
+        # notes that a higher latency can *reduce* running time because
+        # the planner picks a longer re-simulation length n (Fig. 19
+        # discussion), which shows up for the longest analysis here too.
+        assert times[-1] > times[0]
+        for p in series:
+            assert p.running_time >= p.t_lower - 1e-6
+            assert p.running_time <= 2.0 * p.t_single + p.m * 3.0 / 8
+    # The longest analysis beats T_single across the whole sweep.
+    assert all(
+        p.running_time < p.t_single for p in points if p.m == 1152
+    )

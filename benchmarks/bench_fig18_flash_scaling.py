@@ -1,0 +1,44 @@
+"""Fig. 18 — Strong scalability of analyses on virtualized FLASH data.
+
+Paper: Sedov blast, Δd = 1, Δr = 20, τsim = 14 s, αsim = 7 s, m = 200
+(the first second of the blast), smax ∈ {2, 4, 8, 16}.  Expected shape:
+scaling keeps improving through smax = 16 (up to ~3x in the paper), and —
+unlike COSMO — forward and backward behave the same thanks to the high
+restart frequency.
+"""
+
+from _harness import emit, run_once
+
+from repro.des import scaling_experiment
+from repro.simulators import FLASH_EVAL_CONFIG, FLASH_EVAL_PERF
+
+
+def compute():
+    return scaling_experiment(
+        FLASH_EVAL_CONFIG,
+        FLASH_EVAL_PERF,
+        m=200,
+        smax_values=(2, 4, 8, 16),
+        tau_cli=0.1,
+    )
+
+
+def test_fig18_flash_scaling(benchmark):
+    points = run_once(benchmark, compute)
+    emit(
+        "fig18_flash_scaling",
+        "Fig. 18: FLASH analysis completion time vs smax "
+        f"(m=200, T_single={points[0].full_forward_time:.0f}s)",
+        ["smax", "direction", "time (s)", "speedup", "restarts"],
+        [
+            [p.smax, p.direction, p.running_time, p.speedup, p.restarts]
+            for p in points
+        ],
+    )
+    fwd = {p.smax: p for p in points if p.direction == "forward"}
+    bwd = {p.smax: p for p in points if p.direction == "backward"}
+    times = [fwd[s].running_time for s in (2, 4, 8, 16)]
+    assert times == sorted(times, reverse=True)  # keeps improving
+    assert fwd[16].speedup > 3.0                 # at least the paper's 3x
+    for s in (2, 4, 8, 16):                      # directions comparable
+        assert 0.7 < bwd[s].running_time / fwd[s].running_time < 1.4

@@ -1,0 +1,47 @@
+"""Fig. 19 — Prefetching FLASH simulations under different restart
+latencies and analysis lengths.
+
+Paper: synthetic simulator with the FLASH production rate (τsim = 14 s),
+αsim swept to 600 s, m ∈ {200, 400, 600}, smax = 8.  Expected shape:
+FLASH's large τsim amortizes the warm-up much better than COSMO's — the
+SimFS line stays below T_single across the sweep, and higher restart
+latencies can even *reduce* running time locally (longer re-simulation
+lengths n avoid a final restart-latency stall).
+"""
+
+from _harness import emit, run_once
+
+from repro.des import latency_experiment
+from repro.simulators import FLASH_EVAL_CONFIG, FLASH_EVAL_PERF
+
+
+def compute():
+    return latency_experiment(
+        FLASH_EVAL_CONFIG,
+        FLASH_EVAL_PERF,
+        alpha_values=(0.0, 100.0, 200.0, 400.0, 600.0),
+        m_values=(200, 400, 600),
+        smax=8,
+        tau_cli=0.1,
+    )
+
+
+def test_fig19_flash_latency(benchmark):
+    points = run_once(benchmark, compute)
+    emit(
+        "fig19_flash_latency",
+        "Fig. 19: FLASH analysis time vs restart latency (smax=8)",
+        ["alpha (s)", "m", "SimFS (s)", "T_single", "T_lower", "T_pre"],
+        [
+            [p.alpha_sim, p.m, p.running_time, p.t_single, p.t_lower, p.t_pre]
+            for p in points
+        ],
+    )
+    # Prefetching effective: SimFS below T_single everywhere (paper's
+    # contrast with the COSMO study).
+    assert all(p.running_time < p.t_single for p in points)
+    assert all(p.running_time >= p.t_lower - 1e-6 for p in points)
+    # Longer analyses take longer at equal latency.
+    for alpha in (0.0, 200.0, 600.0):
+        by_m = {p.m: p for p in points if p.alpha_sim == alpha}
+        assert by_m[600].running_time >= by_m[200].running_time

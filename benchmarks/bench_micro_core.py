@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the core substrates.
+
+Not a paper figure: throughput sanity checks that keep the building
+blocks honest — storage-area access/insert cycles under each replacement
+scheme, DES event throughput, SDF encode/decode bandwidth, and the DV
+wire-protocol codec.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import StorageArea
+from repro.core.steps import StepGeometry
+from repro.des import DESEngine
+from repro.dv.protocol import decode_message, encode_message
+from repro.simio import decode, encode
+
+GEO = StepGeometry(delta_d=5, delta_r=240, num_timesteps=4 * 24 * 60)
+
+
+@pytest.mark.parametrize("policy", ["lru", "lirs", "arc", "bcl", "dcl"])
+def test_cache_access_insert_throughput(benchmark, policy):
+    import random
+
+    rng = random.Random(3)
+    keys = [rng.randrange(1, 1153) for _ in range(2000)]
+
+    def workload():
+        area = StorageArea(policy, capacity_bytes=288, entry_bytes=1)
+        for key in keys:
+            if not area.access(key):
+                area.insert(key, cost=float(GEO.miss_cost(key)))
+        return len(area)
+
+    resident = benchmark(workload)
+    assert 0 < resident <= 288
+
+
+def test_des_event_throughput(benchmark):
+    def run_events():
+        engine = DESEngine()
+        count = 10_000
+
+        def tick():
+            nonlocal count
+            count -= 1
+            if count > 0:
+                engine.schedule(0.001, tick)
+
+        engine.schedule(0.0, tick)
+        engine.run()
+        return engine.events_processed
+
+    processed = benchmark(run_events)
+    assert processed == 10_000
+
+
+def test_sdf_encode_decode(benchmark):
+    arr = np.random.default_rng(0).random((256, 256))
+
+    def roundtrip():
+        variables, _ = decode(encode({"field": arr}, {"timestep": 5}))
+        return variables["field"]
+
+    out = benchmark(roundtrip)
+    np.testing.assert_array_equal(out, arr)
+
+
+def test_protocol_codec(benchmark):
+    message = {
+        "op": "acquire",
+        "req": 42,
+        "context": "cosmo",
+        "files": [f"cosmo_out_{i:08d}.sdf" for i in range(32)],
+    }
+
+    def roundtrip():
+        return decode_message(encode_message(message).strip())
+
+    out = benchmark(roundtrip)
+    assert out["files"] == message["files"]
+
+
+def test_step_geometry_math(benchmark):
+    def sweep():
+        total = 0
+        for i in range(1, 1153):
+            total += GEO.miss_cost(i) + GEO.restart_before(i)
+        return total
+
+    assert benchmark(sweep) > 0

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Cost-model explorer (paper Sec. V): when is SimFS worth it?
+
+Evaluates the on-disk / in-situ / SimFS cost models on the paper's COSMO
+production scenario (50 TiB of output, Azure price calibration) and prints
+Fig. 1-style and Fig. 14-style summaries plus the platform heatmap
+corners, so operators can plug in their own price points.
+
+Run:  python examples/cost_explorer.py
+"""
+
+from repro.costs import (
+    AZURE_COSTS,
+    PIZ_DAINT_COSTS,
+    analyses_sweep,
+    availability_sweep,
+    cost_ratio_heatmap,
+)
+
+
+def main() -> None:
+    print("== cost vs data availability period "
+          "(100 analyses, 50% overlap, dr=8h, cache 25%) ==")
+    print(f"   {'months':>7} {'on-disk k$':>11} {'in-situ k$':>11} "
+          f"{'SimFS k$':>9}  winner")
+    for row in availability_sweep(
+        months_list=(6, 12, 24, 36, 48, 60),
+        num_analyses=100, overlap=0.5,
+    ):
+        print(
+            f"   {int(row.months):>7} {row.on_disk / 1e3:>11.1f} "
+            f"{row.in_situ / 1e3:>11.1f} {row.simfs / 1e3:>9.1f}  "
+            f"{row.winner}"
+        )
+
+    print("\n== cost vs number of analyses (dt=2y) ==")
+    print(f"   {'z':>4} {'on-disk k$':>11} {'in-situ k$':>11} "
+          f"{'SimFS k$':>9}  winner")
+    for row in analyses_sweep(
+        analysis_counts=(1, 5, 10, 20, 50, 100),
+        restart_hours_list=(8.0,), cache_fractions=(0.25,),
+    ):
+        print(
+            f"   {row.num_analyses:>4} {row.on_disk / 1e3:>11.1f} "
+            f"{row.in_situ / 1e3:>11.1f} {row.simfs / 1e3:>9.1f}  "
+            f"{row.winner}"
+        )
+
+    print("\n== platform price points (3y, cache 25%) ==")
+    cells = cost_ratio_heatmap(
+        storage_costs=(), compute_costs=(),
+        num_analyses=100, overlap=0.5,
+    )
+    for cell in cells:
+        label = (
+            "Microsoft Azure"
+            if (cell["storage_cost"], cell["compute_cost"])
+            == (AZURE_COSTS["storage_cost"], AZURE_COSTS["compute_cost"])
+            else "Piz Daint (CSCS)"
+        )
+        print(
+            f"   {label:<18} cs={cell['storage_cost']:.2f} "
+            f"cc={cell['compute_cost']:.2f}: "
+            f"min(alternatives)/SimFS = {cell['ratio']:.2f} "
+            f"({'SimFS wins' if cell['ratio'] > 1 else 'alternative wins'})"
+        )
+
+
+if __name__ == "__main__":
+    main()

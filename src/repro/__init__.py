@@ -1,0 +1,81 @@
+"""SimFS: a simulation data virtualizing file system interface.
+
+Reproduction of *SimFS: A Simulation Data Virtualizing File System
+Interface* (Di Girolamo, Schmid, Schulthess, Hoefler — IPDPS 2019).
+
+SimFS exposes a virtualized view of a simulation's output: analyses see
+every output file, but only a subset is stored.  Accesses to missing files
+transparently restart the simulation from the nearest checkpoint; caching
+(LRU/LIRS/ARC/BCL/DCL) decides what stays on disk and prefetch agents mask
+re-simulation latency for scanning analyses.
+
+Typical entry points
+--------------------
+* :class:`repro.dv.DVServer` — the Data Virtualizer daemon (real mode).
+* :class:`repro.client.SimFSSession` / ``simfs_*`` — the analysis API.
+* :class:`repro.client.VirtualizedHooks` — transparent interposition.
+* :class:`repro.des.VirtualSimFS` — the virtual-time deployment used by
+  the performance experiments.
+* :mod:`repro.costs` — the Sec. V cost models.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.cache import StorageArea, make_policy
+from repro.client import (
+    LocalConnection,
+    SimFSSession,
+    TcpConnection,
+    VirtualizedHooks,
+)
+from repro.core import (
+    ContextConfig,
+    ErrorCode,
+    PerformanceModel,
+    SimFSError,
+    SimulationContext,
+    StepGeometry,
+)
+from repro.des import VirtualSimFS, latency_experiment, scaling_experiment
+from repro.dv import DVCoordinator, DVServer, ThreadedLauncher
+from repro.prefetch import PatternDetector, PrefetchAgent
+from repro.simulators import (
+    CosmoDriver,
+    FlashDriver,
+    SimulationDriver,
+    SyntheticDriver,
+)
+from repro.traces import ForwardWorkload, ecmwf_like_trace, replay_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ContextConfig",
+    "CosmoDriver",
+    "DVCoordinator",
+    "DVServer",
+    "ErrorCode",
+    "FlashDriver",
+    "ForwardWorkload",
+    "LocalConnection",
+    "PatternDetector",
+    "PerformanceModel",
+    "PrefetchAgent",
+    "SimFSError",
+    "SimFSSession",
+    "SimulationContext",
+    "SimulationDriver",
+    "StepGeometry",
+    "StorageArea",
+    "SyntheticDriver",
+    "TcpConnection",
+    "ThreadedLauncher",
+    "VirtualSimFS",
+    "VirtualizedHooks",
+    "__version__",
+    "ecmwf_like_trace",
+    "latency_experiment",
+    "make_policy",
+    "replay_trace",
+    "scaling_experiment",
+]

@@ -1,0 +1,22 @@
+"""Cache replacement schemes and the bounded storage-area manager
+(paper Sec. III-D)."""
+
+from repro.cache.arc import ARCPolicy
+from repro.cache.base import CacheStats, ReplacementPolicy, make_policy
+from repro.cache.cost_aware import BCLPolicy, DCLPolicy
+from repro.cache.lirs import LIRSPolicy
+from repro.cache.lru import LRUPolicy
+from repro.cache.manager import EvictionRecord, StorageArea
+
+__all__ = [
+    "ARCPolicy",
+    "BCLPolicy",
+    "CacheStats",
+    "DCLPolicy",
+    "EvictionRecord",
+    "LIRSPolicy",
+    "LRUPolicy",
+    "ReplacementPolicy",
+    "StorageArea",
+    "make_policy",
+]

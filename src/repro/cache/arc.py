@@ -1,0 +1,140 @@
+"""ARC — Adaptive Replacement Cache (paper Sec. III-D, after
+Megiddo & Modha, FAST'03).
+
+ARC splits resident entries into ``T1`` (seen once recently) and ``T2``
+(seen at least twice) and keeps ghost lists ``B1``/``B2`` of recently
+evicted entries from each.  A hit in a ghost list moves the adaptation
+target ``p`` toward favouring that side, letting the cache tune itself
+between recency and frequency at runtime.
+
+In this library the storage-area manager drives evictions (capacity is
+bytes on disk and entries can be pinned by analyses), so the canonical
+"on miss: REPLACE then insert" flow is decomposed into the
+``record_access`` / ``victim`` / ``record_evict`` / ``record_insert``
+events; the REPLACE decision rule and the adaptation of ``p`` are the
+textbook ones.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Iterator
+
+from repro.cache.base import ReplacementPolicy
+
+__all__ = ["ARCPolicy"]
+
+
+class ARCPolicy(ReplacementPolicy):
+    """Adaptive Replacement Cache over entry counts."""
+
+    name = "arc"
+
+    def __init__(self, capacity_entries: int) -> None:
+        super().__init__(capacity_entries)
+        self._t1: OrderedDict[int, None] = OrderedDict()  # LRU -> MRU
+        self._t2: OrderedDict[int, None] = OrderedDict()
+        self._b1: OrderedDict[int, None] = OrderedDict()
+        self._b2: OrderedDict[int, None] = OrderedDict()
+        self._p = 0.0  # target size of T1
+        # Ghost-hit keys whose next insertion goes straight to T2.
+        self._promote_on_insert: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    def record_access(self, key: int) -> bool:
+        if key in self._t1:
+            self._t1.pop(key)
+            self._t2[key] = None
+            self._t2.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        if key in self._t2:
+            self._t2.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if key in self._b1:
+            delta = max(len(self._b2) / len(self._b1), 1.0)
+            self._p = min(float(self.capacity_entries), self._p + delta)
+            self._b1.pop(key)
+            self._promote_on_insert.add(key)
+        elif key in self._b2:
+            delta = max(len(self._b1) / len(self._b2), 1.0)
+            self._p = max(0.0, self._p - delta)
+            self._b2.pop(key)
+            self._promote_on_insert.add(key)
+        return False
+
+    def record_insert(self, key: int, cost: float = 0.0) -> None:
+        self.stats.insertions += 1
+        if key in self._t1 or key in self._t2:
+            return
+        self._b1.pop(key, None)
+        self._b2.pop(key, None)
+        if key in self._promote_on_insert:
+            self._promote_on_insert.discard(key)
+            self._t2[key] = None
+            self._t2.move_to_end(key)
+        else:
+            self._t1[key] = None
+            self._t1.move_to_end(key)
+        self._bound_ghosts()
+
+    def record_evict(self, key: int) -> None:
+        self.stats.evictions += 1
+        if key in self._t1:
+            self._t1.pop(key)
+            self._b1[key] = None
+            self._b1.move_to_end(key)
+        elif key in self._t2:
+            self._t2.pop(key)
+            self._b2[key] = None
+            self._b2.move_to_end(key)
+        self._bound_ghosts()
+
+    def victim(self, is_evictable: Callable[[int], bool]) -> int | None:
+        """REPLACE rule: evict from T1 when it exceeds its target ``p``."""
+        prefer_t1 = len(self._t1) >= 1 and len(self._t1) > self._p
+        ordered_lists = (
+            (self._t1, self._t2) if prefer_t1 or not self._t2 else (self._t2, self._t1)
+        )
+        for lst in ordered_lists:
+            for key in lst:  # LRU first
+                if is_evictable(key):
+                    return key
+        return None
+
+    def resident(self) -> Iterator[int]:
+        yield from self._t1
+        yield from self._t2
+
+    def is_resident(self, key: int) -> bool:
+        return key in self._t1 or key in self._t2
+
+    # -- introspection used by tests ------------------------------------ #
+    @property
+    def p(self) -> float:
+        """Current adaptation target for |T1|."""
+        return self._p
+
+    def list_sizes(self) -> dict[str, int]:
+        return {
+            "t1": len(self._t1),
+            "t2": len(self._t2),
+            "b1": len(self._b1),
+            "b2": len(self._b2),
+        }
+
+    # ------------------------------------------------------------------ #
+    def _bound_ghosts(self) -> None:
+        """Keep |T1|+|B1| <= c and the directory total <= 2c."""
+        c = self.capacity_entries
+        while len(self._t1) + len(self._b1) > c and self._b1:
+            self._b1.popitem(last=False)
+        total = len(self._t1) + len(self._t2) + len(self._b1) + len(self._b2)
+        while total > 2 * c and (self._b1 or self._b2):
+            if self._b2:
+                self._b2.popitem(last=False)
+            else:
+                self._b1.popitem(last=False)
+            total -= 1

@@ -1,0 +1,49 @@
+"""Least-Recently-Used replacement (paper Sec. III-D, *Locality-Based*)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Iterator
+
+from repro.cache.base import ReplacementPolicy
+
+__all__ = ["LRUPolicy"]
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Classic LRU over an ordered dict (least-recent first)."""
+
+    name = "lru"
+
+    def __init__(self, capacity_entries: int) -> None:
+        super().__init__(capacity_entries)
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def record_access(self, key: int) -> bool:
+        if key in self._order:
+            self._order.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def record_insert(self, key: int, cost: float = 0.0) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+        self.stats.insertions += 1
+
+    def record_evict(self, key: int) -> None:
+        self._order.pop(key, None)
+        self.stats.evictions += 1
+
+    def victim(self, is_evictable: Callable[[int], bool]) -> int | None:
+        for key in self._order:  # least-recent first
+            if is_evictable(key):
+                return key
+        return None
+
+    def resident(self) -> Iterator[int]:
+        return iter(self._order)
+
+    def is_resident(self, key: int) -> bool:
+        return key in self._order

@@ -1,0 +1,121 @@
+"""``simfs-ctl``: command-line utilities for SimFS contexts.
+
+Subcommands
+-----------
+``record-checksums``
+    Walk a context output directory and write the reference-checksum map
+    backing ``SIMFS_Bitrep`` (paper Sec. III-C2: "a map from filenames to
+    checksums that can be updated through a command line utility at the
+    time when the first simulation is run").
+``initial-run``
+    Run the initial simulation of a built-in simulator (synthetic / cosmo /
+    flash), producing restart files and the full output.
+``replay``
+    Replay a generated trace through a replacement policy and print the
+    Fig. 5 counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.core.steps import StepGeometry
+from repro.simulators import CosmoDriver, FlashDriver, SyntheticDriver
+from repro.traces import TraceSpec, concatenated_trace, ecmwf_like_trace, replay_trace
+from repro.util.checksums import file_checksum
+
+_DRIVERS = {"synthetic": SyntheticDriver, "cosmo": CosmoDriver, "flash": FlashDriver}
+
+
+def _cmd_record_checksums(args: argparse.Namespace) -> int:
+    checksums = {}
+    for fname in sorted(os.listdir(args.output_dir)):
+        if fname.endswith(".sdf"):
+            checksums[fname] = file_checksum(os.path.join(args.output_dir, fname))
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(checksums, fh, indent=1, sort_keys=True)
+    print(f"recorded {len(checksums)} checksums to {args.out}")
+    return 0
+
+
+def _cmd_initial_run(args: argparse.Namespace) -> int:
+    geometry = StepGeometry(args.delta_d, args.delta_r, args.num_timesteps)
+    driver = _DRIVERS[args.simulator](geometry, prefix=args.prefix)
+    os.makedirs(args.output_dir, exist_ok=True)
+    os.makedirs(args.restart_dir, exist_ok=True)
+    num_restarts = max(1, args.num_timesteps // args.delta_r)
+    produced = driver.execute(
+        driver.make_job(args.prefix, 0, num_restarts, write_restarts=True),
+        args.output_dir,
+        args.restart_dir,
+    )
+    print(f"produced {len(produced)} output steps and "
+          f"{num_restarts} restart files")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    geometry = StepGeometry(args.delta_d, args.delta_r, args.num_timesteps)
+    if args.pattern == "ecmwf":
+        trace = ecmwf_like_trace(
+            geometry.num_output_steps, seed=args.seed, num_accesses=args.accesses
+        )
+    else:
+        spec = TraceSpec(num_output_steps=geometry.num_output_steps)
+        trace = concatenated_trace(args.pattern, spec, seed=args.seed)
+    result = replay_trace(trace, geometry, args.policy, cache_fraction=args.cache)
+    print(json.dumps({
+        "pattern": args.pattern,
+        "policy": args.policy,
+        "accesses": result.accesses,
+        "hits": result.hits,
+        "restarts": result.restarts,
+        "simulated_outputs": result.simulated_outputs,
+        "evictions": result.evictions,
+    }, indent=1))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="simfs-ctl", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("record-checksums",
+                       help="record reference checksums for SIMFS_Bitrep")
+    p.add_argument("output_dir")
+    p.add_argument("--out", default="checksums.json")
+    p.set_defaults(func=_cmd_record_checksums)
+
+    p = sub.add_parser("initial-run", help="run an initial simulation")
+    p.add_argument("--simulator", choices=sorted(_DRIVERS), default="synthetic")
+    p.add_argument("--prefix", default="sim")
+    p.add_argument("--delta-d", type=int, dest="delta_d", default=2)
+    p.add_argument("--delta-r", type=int, dest="delta_r", default=8)
+    p.add_argument("--num-timesteps", type=int, dest="num_timesteps", default=64)
+    p.add_argument("--output-dir", dest="output_dir", default="out")
+    p.add_argument("--restart-dir", dest="restart_dir", default="restart")
+    p.set_defaults(func=_cmd_initial_run)
+
+    p = sub.add_parser("replay", help="replay a trace through the cache model")
+    p.add_argument("--pattern",
+                   choices=["forward", "backward", "random", "ecmwf"],
+                   default="ecmwf")
+    p.add_argument("--policy", default="dcl")
+    p.add_argument("--cache", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--accesses", type=int, default=20_000)
+    p.add_argument("--delta-d", type=int, dest="delta_d", default=5)
+    p.add_argument("--delta-r", type=int, dest="delta_r", default=240)
+    p.add_argument("--num-timesteps", type=int, dest="num_timesteps",
+                   default=4 * 24 * 60)
+    p.set_defaults(func=_cmd_replay)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

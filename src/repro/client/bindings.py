@@ -1,0 +1,103 @@
+"""Table I bindings: the (P)netCDF / (P)HDF5 / ADIOS call names.
+
+The paper's DVLib provides bindings for the data-access calls of the
+standard I/O libraries so unmodified analyses are virtualized:
+
+=========  ====================  ============  ====================
+Call       (P)NetCDF             (P)HDF5       ADIOS
+=========  ====================  ============  ====================
+open       ``nc_open``           ``H5Fopen``   ``adios_open`` (r)
+create     ``nc_create``         ``H5Fcreate`` ``adios_open`` (w)
+read       ``nc_vara_get_type``  ``H5Dread``   ``adios_schedule_read``
+close      ``nc_close``          ``H5Fclose``  ``adios_close``
+=========  ====================  ============  ====================
+
+In the reproduction all three stacks are backed by the SDF container
+(:mod:`repro.simio`); these shims expose the Table I names so example
+analyses read exactly like their netCDF/HDF5/ADIOS originals.  Install
+:class:`repro.client.transparent.VirtualizedHooks` first and every one of
+these calls is virtualized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidArgumentError
+from repro.simio import DataFile, sio_create, sio_open
+
+__all__ = [
+    "nc_open",
+    "nc_create",
+    "nc_vara_get",
+    "nc_close",
+    "h5f_open",
+    "h5f_create",
+    "h5d_read",
+    "h5f_close",
+    "adios_open",
+    "adios_schedule_read",
+    "adios_close",
+]
+
+
+# -- (P)NetCDF -------------------------------------------------------- #
+def nc_open(path: str) -> DataFile:
+    """``nc_open`` / ``ncmpi_open``: open a dataset for reading."""
+    return sio_open(path)
+
+
+def nc_create(path: str) -> DataFile:
+    """``nc_create`` / ``ncmpi_create``: create a dataset for writing."""
+    return sio_create(path)
+
+
+def nc_vara_get(handle: DataFile, varname: str) -> np.ndarray:
+    """``nc_vara_get_<type>`` / ``ncmpi_vara_get_<type>``: read a variable."""
+    return handle.read(varname)
+
+
+def nc_close(handle: DataFile) -> None:
+    """``nc_close`` / ``ncmpi_close``."""
+    handle.close()
+
+
+# -- (P)HDF5 ----------------------------------------------------------- #
+def h5f_open(path: str) -> DataFile:
+    """``H5Fopen``: open a file for reading."""
+    return sio_open(path)
+
+
+def h5f_create(path: str) -> DataFile:
+    """``H5Fcreate``: create a file for writing."""
+    return sio_create(path)
+
+
+def h5d_read(handle: DataFile, dataset: str) -> np.ndarray:
+    """``H5Dread``: read a dataset."""
+    return handle.read(dataset)
+
+
+def h5f_close(handle: DataFile) -> None:
+    """``H5Fclose``."""
+    handle.close()
+
+
+# -- ADIOS ------------------------------------------------------------- #
+def adios_open(path: str, mode: str) -> DataFile:
+    """``adios_open``: ``mode`` selects read (``"r"``) or write (``"w"``)."""
+    if mode == "r":
+        return sio_open(path)
+    if mode == "w":
+        return sio_create(path)
+    raise InvalidArgumentError(f"adios_open mode must be 'r' or 'w', got {mode!r}")
+
+
+def adios_schedule_read(handle: DataFile, varname: str) -> np.ndarray:
+    """``adios_schedule_read`` (+ implicit perform): read a variable."""
+    return handle.read(varname)
+
+
+def adios_close(handle: DataFile) -> None:
+    """``adios_close``."""
+    handle.close()

@@ -1,0 +1,419 @@
+"""DVLib: the client library connecting analyses/simulators to the DV
+(paper Sec. III).
+
+Two interchangeable connection flavours expose the same interface:
+
+* :class:`TcpConnection` — talks to a :class:`repro.dv.server.DVServer`
+  over the JSON wire protocol, with a background listener thread matching
+  replies and recording unsolicited ``ready`` notifications (the paper's
+  deployment: DVLib and DV are separate processes).
+* :class:`LocalConnection` — drives a :class:`DVCoordinator` in-process
+  (handy for examples, tests, and single-process pipelines).
+
+Blocking-on-read semantics (Sec. III-C1: the *open* is non-blocking, the
+*read* blocks until the DV notifies) are implemented by
+:meth:`DVConnection.wait_ready`, which the transparent-mode hooks call
+before letting the I/O library touch the file.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import os
+import queue
+import socket
+import threading
+import uuid
+from dataclasses import dataclass
+
+from repro.core.errors import (
+    ConnectionLostError,
+    ErrorCode,
+    RestartFailedError,
+    SimFSError,
+)
+from repro.core.status import FileState
+from repro.dv.protocol import MessageReader, send_message
+
+__all__ = ["FileInfo", "DVConnection", "TcpConnection", "LocalConnection"]
+
+
+@dataclass(frozen=True)
+class FileInfo:
+    """Availability report for one requested file."""
+
+    filename: str
+    available: bool
+    state: FileState
+    estimated_wait: float
+
+
+class _ReadyTable:
+    """Thread-safe record of ready/failed notifications per (context, file).
+
+    Notifications may arrive *before* the reply of the open that caused
+    them; recording everything unconditionally makes the race harmless.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._ready: set[tuple[str, str]] = set()
+        self._failed: set[tuple[str, str]] = set()
+        self._watchers: list = []
+
+    def add_watcher(self, callback) -> None:
+        """Register a callback fired on every notification (used to update
+        outstanding non-blocking acquire requests)."""
+        with self._cond:
+            self._watchers.append(callback)
+
+    def record(self, context: str, filename: str, ok: bool) -> None:
+        with self._cond:
+            (self._ready if ok else self._failed).add((context, filename))
+            watchers = list(self._watchers)
+            self._cond.notify_all()
+        for watcher in watchers:
+            watcher(context, filename, ok)
+
+    def wait(self, context: str, filename: str, timeout: float | None) -> bool:
+        """Block until the file is ready; returns False if it failed.
+
+        Raises ``TimeoutError`` when the timeout expires first.
+        """
+        key = (context, filename)
+        with self._cond:
+            happened = self._cond.wait_for(
+                lambda: key in self._ready or key in self._failed,
+                timeout=timeout,
+            )
+            if not happened:
+                raise TimeoutError(
+                    f"timed out waiting for {filename!r} in context {context!r}"
+                )
+            return key in self._ready
+
+    def is_ready(self, context: str, filename: str) -> bool:
+        with self._cond:
+            return (context, filename) in self._ready
+
+    def forget(self, context: str, filename: str) -> None:
+        """Drop state for a file (after release, so re-acquires re-wait)."""
+        with self._cond:
+            self._ready.discard((context, filename))
+            self._failed.discard((context, filename))
+
+
+class DVConnection(abc.ABC):
+    """Common DVLib connection interface."""
+
+    def __init__(self, client_id: str | None = None) -> None:
+        self.client_id = client_id or f"dvlib-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        self.ready_table = _ReadyTable()
+
+    # -- control plane ---------------------------------------------------- #
+    @abc.abstractmethod
+    def attach(self, context: str) -> None:
+        """Attach this client to a simulation context (``SIMFS_Init``)."""
+
+    @abc.abstractmethod
+    def finalize(self, context: str) -> None:
+        """Detach from a context (``SIMFS_Finalize``)."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Tear down the connection."""
+
+    # -- data plane --------------------------------------------------------#
+    @abc.abstractmethod
+    def open(self, context: str, filename: str) -> FileInfo:
+        """Request one file; never blocks (Sec. III-C1 open semantics)."""
+
+    @abc.abstractmethod
+    def acquire(self, context: str, filenames: list[str]) -> list[FileInfo]:
+        """Request a set of files (``SIMFS_Acquire`` core)."""
+
+    @abc.abstractmethod
+    def release(self, context: str, filename: str) -> None:
+        """Drop the reference to a file."""
+
+    @abc.abstractmethod
+    def notify_write_close(self, context: str, filename: str) -> None:
+        """Simulator-side: an output file was closed and is ready on disk."""
+
+    @abc.abstractmethod
+    def bitrep(self, context: str, filename: str, path: str | None = None) -> bool:
+        """Compare a file against the recorded initial-run checksum."""
+
+    @abc.abstractmethod
+    def storage_path(self, context: str, filename: str) -> str:
+        """Physical path of an output file in the context storage area."""
+
+    @abc.abstractmethod
+    def restart_dir(self, context: str) -> str:
+        """Directory holding the context's restart files."""
+
+    # -- blocking helper ---------------------------------------------------#
+    def wait_ready(
+        self, context: str, filename: str, timeout: float | None = None
+    ) -> None:
+        """Block until ``filename`` is on disk; raises on failed restarts."""
+        info = self.open(context, filename)
+        if info.available:
+            return
+        ok = self.ready_table.wait(context, filename, timeout)
+        if not ok:
+            raise RestartFailedError(
+                f"re-simulation for {filename!r} failed (context {context!r})"
+            )
+
+    def __enter__(self) -> "DVConnection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+class TcpConnection(DVConnection):
+    """DVLib over the TCP wire protocol."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        storage_dirs: dict[str, str],
+        restart_dirs: dict[str, str],
+        client_id: str | None = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        super().__init__(client_id)
+        self._storage_dirs = dict(storage_dirs)
+        self._restart_dirs = dict(restart_dirs)
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        self._sock.settimeout(None)
+        self._send_lock = threading.Lock()
+        self._reqs = itertools.count(1)
+        self._replies: dict[int, queue.Queue] = {}
+        self._replies_lock = threading.Lock()
+        self._closed = False
+        self._listener = threading.Thread(
+            target=self._listen, name=f"dvlib-listen-{self.client_id}", daemon=True
+        )
+        # Handshake before the listener owns the socket.
+        send_message(self._sock, {"op": "hello", "req": 0, "client_id": self.client_id})
+        reader = MessageReader(self._sock)
+        reply = reader.read_message()
+        if reply is None or reply.get("op") != "reply":
+            raise ConnectionLostError("DV handshake failed")
+        self._reader = reader
+        self._listener.start()
+
+    # -- plumbing ----------------------------------------------------------#
+    def _listen(self) -> None:
+        try:
+            while not self._closed:
+                message = self._reader.read_message()
+                if message is None:
+                    break
+                if message.get("op") == "ready":
+                    self.ready_table.record(
+                        message["context"], message["file"], bool(message.get("ok", True))
+                    )
+                elif message.get("op") == "reply":
+                    with self._replies_lock:
+                        waiter = self._replies.pop(message.get("req"), None)
+                    if waiter is not None:
+                        waiter.put(message)
+        except (SimFSError, OSError):
+            pass
+        # Unblock any RPC still waiting.
+        with self._replies_lock:
+            for waiter in self._replies.values():
+                waiter.put({"op": "reply", "error": int(ErrorCode.ERR_CONNECTION),
+                            "detail": "connection lost"})
+            self._replies.clear()
+
+    def _rpc(self, message: dict, timeout: float = 60.0) -> dict:
+        if self._closed:
+            raise ConnectionLostError("connection is closed")
+        req = next(self._reqs)
+        message["req"] = req
+        waiter: queue.Queue = queue.Queue(maxsize=1)
+        with self._replies_lock:
+            self._replies[req] = waiter
+        with self._send_lock:
+            send_message(self._sock, message)
+        try:
+            reply = waiter.get(timeout=timeout)
+        except queue.Empty:
+            raise ConnectionLostError("DV reply timed out") from None
+        error = reply.get("error", 0)
+        if error:
+            raise _error_from_code(error, reply.get("detail", ""))
+        return reply
+
+    # -- interface ----------------------------------------------------------#
+    def attach(self, context: str) -> None:
+        self._rpc({"op": "attach", "context": context})
+
+    def finalize(self, context: str) -> None:
+        self._rpc({"op": "finalize", "context": context})
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # shutdown() (not just close()) is required: the listener thread is
+        # blocked in recv() on this socket, which keeps the kernel-side file
+        # description alive — a bare close() would neither wake it nor send
+        # the FIN the DV needs to clean up this client.
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def open(self, context: str, filename: str) -> FileInfo:
+        reply = self._rpc({"op": "open", "context": context, "file": filename})
+        return FileInfo(
+            filename=filename,
+            available=bool(reply["available"]),
+            state=FileState(reply["state"]),
+            estimated_wait=float(reply["wait"]),
+        )
+
+    def acquire(self, context: str, filenames: list[str]) -> list[FileInfo]:
+        reply = self._rpc({"op": "acquire", "context": context, "files": filenames})
+        return [
+            FileInfo(
+                filename=item["file"],
+                available=bool(item["available"]),
+                state=FileState(item["state"]),
+                estimated_wait=float(item["wait"]),
+            )
+            for item in reply["results"]
+        ]
+
+    def release(self, context: str, filename: str) -> None:
+        self._rpc({"op": "release", "context": context, "file": filename})
+        self.ready_table.forget(context, filename)
+
+    def notify_write_close(self, context: str, filename: str) -> None:
+        self._rpc({"op": "wclose", "context": context, "file": filename})
+
+    def bitrep(self, context: str, filename: str, path: str | None = None) -> bool:
+        message = {"op": "bitrep", "context": context, "file": filename}
+        if path is not None:
+            message["path"] = path
+        return bool(self._rpc(message)["matches"])
+
+    def storage_path(self, context: str, filename: str) -> str:
+        return os.path.join(self._storage_dirs[context], filename)
+
+    def restart_dir(self, context: str) -> str:
+        return self._restart_dirs[context]
+
+
+# --------------------------------------------------------------------- #
+class LocalConnection(DVConnection):
+    """DVLib talking to an in-process DV server (no sockets)."""
+
+    def __init__(self, server, client_id: str | None = None) -> None:
+        """``server`` is a :class:`repro.dv.server.DVServer` (not started)
+        or anything exposing ``coordinator``, ``launcher`` and
+        ``storage_path``."""
+        super().__init__(client_id)
+        self._server = server
+        self._coordinator = server.coordinator
+        self._lock = server.launcher.lock
+        self._clock = server.launcher.clock
+        self._contexts: set[str] = set()
+        # Splice this client's notifications into the ready table.
+        inner = self._coordinator._notify
+
+        def notify(notification) -> None:
+            inner(notification)
+            if notification.client_id == self.client_id:
+                self.ready_table.record(
+                    notification.context_name, notification.filename, notification.ok
+                )
+
+        self._coordinator._notify = notify
+
+    def attach(self, context: str) -> None:
+        with self._lock:
+            self._coordinator.client_connect(self.client_id, context)
+        self._contexts.add(context)
+
+    def finalize(self, context: str) -> None:
+        with self._lock:
+            self._coordinator.client_disconnect(
+                self.client_id, context, self._clock.now()
+            )
+        self._contexts.discard(context)
+
+    def close(self) -> None:
+        for context in list(self._contexts):
+            try:
+                self.finalize(context)
+            except SimFSError:
+                pass
+
+    def open(self, context: str, filename: str) -> FileInfo:
+        with self._lock:
+            result = self._coordinator.handle_open(
+                self.client_id, context, filename, self._clock.now()
+            )
+        return FileInfo(
+            filename=filename,
+            available=result.available,
+            state=result.state,
+            estimated_wait=result.estimated_wait,
+        )
+
+    def acquire(self, context: str, filenames: list[str]) -> list[FileInfo]:
+        return [self.open(context, name) for name in filenames]
+
+    def release(self, context: str, filename: str) -> None:
+        with self._lock:
+            self._coordinator.handle_release(
+                self.client_id, context, filename, self._clock.now()
+            )
+        self.ready_table.forget(context, filename)
+
+    def notify_write_close(self, context: str, filename: str) -> None:
+        with self._lock:
+            self._coordinator.sim_file_closed(context, filename, self._clock.now())
+
+    def bitrep(self, context: str, filename: str, path: str | None = None) -> bool:
+        if path is None:
+            path = self.storage_path(context, filename)
+        with self._lock:
+            return self._coordinator.handle_bitrep(context, filename, path)
+
+    def storage_path(self, context: str, filename: str) -> str:
+        return self._server.storage_path(context, filename)
+
+    def restart_dir(self, context: str) -> str:
+        return self._server.launcher._contexts[context].restart_dir
+
+
+def _error_from_code(code: int, detail: str) -> SimFSError:
+    """Map a wire error code back to the local exception hierarchy."""
+    from repro.core import errors as err
+
+    mapping: dict[int, type[SimFSError]] = {
+        int(ErrorCode.ERR_CONTEXT): err.ContextError,
+        int(ErrorCode.ERR_RESTART_FAILED): err.RestartFailedError,
+        int(ErrorCode.ERR_NOT_FOUND): err.FileNotInContextError,
+        int(ErrorCode.ERR_PROTOCOL): err.ProtocolError,
+        int(ErrorCode.ERR_CONNECTION): err.ConnectionLostError,
+        int(ErrorCode.ERR_INVALID): err.InvalidArgumentError,
+        int(ErrorCode.ERR_CHECKSUM): err.ChecksumUnavailableError,
+    }
+    cls = mapping.get(code, SimFSError)
+    return cls(detail or f"DV error code {code}")

@@ -1,0 +1,115 @@
+"""Transparent mode: I/O-library interception hooks (paper Sec. III-C1).
+
+Installing :class:`VirtualizedHooks` into :mod:`repro.simio` gives legacy
+analyses and simulators a virtualized view with **zero code changes**:
+
+* an analysis ``open`` of a context output file blocks (inside the hook)
+  until the DV has the file on disk — launching a re-simulation if needed —
+  and is then redirected to the physical path in the storage area;
+* an analysis read-``close`` releases the file's reference;
+* a simulator ``create`` is redirected into the context storage area
+  (restart files into the restart directory);
+* a simulator write-``close`` signals the DV that the file is ready
+  (Fig. 4, step 5).
+
+Files whose names do not match the context's naming convention pass
+through untouched, so applications can mix virtualized and private I/O.
+The context name can come from the ``SIMFS_CONTEXT`` environment variable,
+exactly as in the original SimFS.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.client.dvlib import DVConnection
+from repro.core.errors import ContextError
+from repro.simulators.driver import FilePatternNaming
+
+__all__ = ["VirtualizedHooks", "context_from_env", "ENV_CONTEXT"]
+
+ENV_CONTEXT = "SIMFS_CONTEXT"
+
+
+def context_from_env() -> str:
+    """Context name from the ``SIMFS_CONTEXT`` environment variable."""
+    name = os.environ.get(ENV_CONTEXT, "")
+    if not name:
+        raise ContextError(
+            f"transparent mode needs a context: set ${ENV_CONTEXT} or pass "
+            "context= explicitly"
+        )
+    return name
+
+
+class VirtualizedHooks:
+    """`IOHooks` implementation bridging simio calls to the DV.
+
+    Parameters
+    ----------
+    connection:
+        The DVLib connection.
+    naming:
+        The context's file naming convention; used to recognize which
+        opens/creates belong to the virtualized context.
+    context:
+        Context name; defaults to ``$SIMFS_CONTEXT``.
+    role:
+        ``"analysis"`` (default) or ``"simulator"``.  Simulators get
+        create-redirection and write-close notification; analyses get
+        blocking opens and read-close release.
+    block_timeout:
+        Upper bound in seconds for waiting on a re-simulation.
+    """
+
+    def __init__(
+        self,
+        connection: DVConnection,
+        naming: FilePatternNaming,
+        context: str | None = None,
+        role: str = "analysis",
+        block_timeout: float | None = 300.0,
+    ) -> None:
+        if role not in ("analysis", "simulator"):
+            raise ContextError(f"unknown role {role!r}")
+        self.connection = connection
+        self.naming = naming
+        self.context = context or context_from_env()
+        self.role = role
+        self.block_timeout = block_timeout
+        #: logical file names this hook has redirected (path -> filename)
+        self._virtualized: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    def on_open(self, path: str) -> str:
+        filename = os.path.basename(path)
+        if not self.naming.is_output(filename):
+            return path
+        if self.role == "analysis":
+            # Blocks until the file exists (re-simulating on a miss); the
+            # "non-blocking open, blocking read" split of the paper happens
+            # at the I/O-library layer where reads immediately follow.
+            self.connection.wait_ready(
+                self.context, filename, timeout=self.block_timeout
+            )
+        physical = self.connection.storage_path(self.context, filename)
+        self._virtualized[path] = filename
+        return physical
+
+    def on_create(self, path: str) -> str:
+        filename = os.path.basename(path)
+        if self.naming.is_output(filename):
+            self._virtualized[path] = filename
+            return self.connection.storage_path(self.context, filename)
+        if self.naming.is_restart(filename):
+            return os.path.join(self.connection.restart_dir(self.context), filename)
+        return path
+
+    def on_close(self, path: str, mode: str) -> None:
+        filename = self._virtualized.pop(path, None)
+        if filename is None:
+            return
+        if mode == "r" and self.role == "analysis":
+            self.connection.release(self.context, filename)
+        elif mode == "w" and self.role == "simulator":
+            self.connection.notify_write_close(self.context, filename)

@@ -1,0 +1,38 @@
+"""Core model of the SimFS reproduction: step arithmetic, contexts,
+performance model, status objects, and the exception hierarchy."""
+
+from repro.core.context import ContextConfig, SimulationContext
+from repro.core.errors import (
+    ChecksumUnavailableError,
+    ConnectionLostError,
+    ContextError,
+    ErrorCode,
+    FileNotInContextError,
+    InvalidArgumentError,
+    ProtocolError,
+    RestartFailedError,
+    SimFSError,
+)
+from repro.core.perfmodel import PerformanceModel, ScalingModel
+from repro.core.status import AcquireRequest, FileState, Status
+from repro.core.steps import StepGeometry
+
+__all__ = [
+    "AcquireRequest",
+    "ChecksumUnavailableError",
+    "ConnectionLostError",
+    "ContextConfig",
+    "ContextError",
+    "ErrorCode",
+    "FileNotInContextError",
+    "FileState",
+    "InvalidArgumentError",
+    "PerformanceModel",
+    "ProtocolError",
+    "RestartFailedError",
+    "ScalingModel",
+    "SimFSError",
+    "SimulationContext",
+    "Status",
+    "StepGeometry",
+]

@@ -1,0 +1,74 @@
+"""Exception hierarchy and error codes for the SimFS reproduction.
+
+The original SimFS C/C++ code reports errors through integer return codes
+(mirroring MPI-style APIs).  The Python library raises exceptions internally
+and maps them onto :class:`ErrorCode` values at the ``SIMFS_*`` API boundary
+(see :mod:`repro.client.api`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ErrorCode(enum.IntEnum):
+    """Integer error codes returned by the C-style ``SIMFS_*`` API."""
+
+    SUCCESS = 0
+    ERR_CONTEXT = 1          #: unknown or invalid simulation context
+    ERR_RESTART_FAILED = 2   #: a re-simulation job failed to start or crashed
+    ERR_NOT_FOUND = 3        #: file name does not belong to the context
+    ERR_PENDING = 4          #: operation still in flight (non-blocking calls)
+    ERR_EVICTED = 5          #: file was produced but evicted before access
+    ERR_PROTOCOL = 6         #: malformed message on the DV wire protocol
+    ERR_CONNECTION = 7       #: DV daemon unreachable
+    ERR_INVALID = 8          #: invalid argument
+    ERR_CHECKSUM = 9         #: no reference checksum recorded for the file
+
+
+class SimFSError(Exception):
+    """Base class of all SimFS errors."""
+
+    code: ErrorCode = ErrorCode.ERR_INVALID
+
+
+class ContextError(SimFSError):
+    """Raised for unknown contexts or invalid context configuration."""
+
+    code = ErrorCode.ERR_CONTEXT
+
+
+class RestartFailedError(SimFSError):
+    """Raised when a re-simulation could not be started or crashed."""
+
+    code = ErrorCode.ERR_RESTART_FAILED
+
+
+class FileNotInContextError(SimFSError):
+    """Raised when a file name cannot be mapped to an output step."""
+
+    code = ErrorCode.ERR_NOT_FOUND
+
+
+class ProtocolError(SimFSError):
+    """Raised on malformed DV protocol messages."""
+
+    code = ErrorCode.ERR_PROTOCOL
+
+
+class ConnectionLostError(SimFSError):
+    """Raised when the DV daemon connection drops."""
+
+    code = ErrorCode.ERR_CONNECTION
+
+
+class InvalidArgumentError(SimFSError):
+    """Raised on invalid user-supplied arguments."""
+
+    code = ErrorCode.ERR_INVALID
+
+
+class ChecksumUnavailableError(SimFSError):
+    """Raised by ``SIMFS_Bitrep`` when no reference checksum is recorded."""
+
+    code = ErrorCode.ERR_CHECKSUM

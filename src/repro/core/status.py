@@ -1,0 +1,144 @@
+"""Status and request objects returned by the ``SIMFS_*`` API (Sec. III-C).
+
+``SIMFS_Acquire`` and friends return a :class:`Status` carrying the error
+state (e.g. *restart failed*) and the estimated waiting time until the
+requested files become available; analyses use the estimate for profiling or
+to checkpoint themselves and resume later (paper Sec. III-C2).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["FileState", "Status", "AcquireRequest"]
+
+
+class FileState(enum.Enum):
+    """Availability state of one requested file."""
+
+    ON_DISK = "on_disk"          #: present in the context storage area
+    SIMULATING = "simulating"    #: a re-simulation producing it is running
+    QUEUED = "queued"            #: re-simulation created but not started yet
+    FAILED = "failed"            #: the re-simulation job failed
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class Status:
+    """Outcome of an acquire/wait/test call.
+
+    Attributes
+    ----------
+    error:
+        ``0`` on success; otherwise an :class:`repro.core.errors.ErrorCode`.
+    estimated_wait:
+        Estimated seconds until all files of the request are available
+        (0.0 when everything is already on disk).
+    file_states:
+        Per-file availability at the time the status was produced.
+    """
+
+    error: int = 0
+    estimated_wait: float = 0.0
+    file_states: dict[str, FileState] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the call succeeded."""
+        return self.error == 0
+
+
+@dataclass
+class AcquireRequest:
+    """Handle for a non-blocking acquire (``SIMFS_Acquire_nb``).
+
+    Completion of individual files is signalled by the DVLib client through
+    :meth:`mark_ready`; ``SIMFS_Wait/Test/Waitsome/Testsome`` consume it.
+    The object is thread-safe: the DVLib notification listener marks files
+    ready from its own thread.
+    """
+
+    filenames: list[str]
+    _ready: set[str] = field(default_factory=set)
+    _failed: set[str] = field(default_factory=set)
+    _consumed: set[str] = field(default_factory=set)
+    _cond: threading.Condition = field(default_factory=threading.Condition, repr=False)
+
+    def mark_ready(self, filename: str) -> None:
+        """Record that ``filename`` is now on disk and wake any waiter."""
+        with self._cond:
+            self._ready.add(filename)
+            self._cond.notify_all()
+
+    def mark_failed(self, filename: str) -> None:
+        """Record that the re-simulation for ``filename`` failed."""
+        with self._cond:
+            self._failed.add(filename)
+            self._cond.notify_all()
+
+    @property
+    def complete(self) -> bool:
+        """True when every requested file is either ready or failed."""
+        with self._cond:
+            return self._done_locked()
+
+    @property
+    def any_failed(self) -> bool:
+        with self._cond:
+            return bool(self._failed)
+
+    def ready_files(self) -> list[str]:
+        """Files currently available, in request order."""
+        with self._cond:
+            return [f for f in self.filenames if f in self._ready]
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until all files are resolved; returns ``complete``."""
+        with self._cond:
+            self._cond.wait_for(self._done_locked, timeout=timeout)
+            return self._done_locked()
+
+    def wait_some(self, timeout: float | None = None) -> list[int]:
+        """Block until at least one not-yet-consumed file resolves.
+
+        Returns the indices (into ``filenames``) of newly resolved files and
+        marks them consumed, mirroring ``SIMFS_Waitsome`` semantics.  An
+        empty list means the timeout expired or everything was already
+        consumed.
+        """
+        with self._cond:
+            self._cond.wait_for(self._some_locked, timeout=timeout)
+            fresh = [
+                idx
+                for idx, f in enumerate(self.filenames)
+                if f not in self._consumed and (f in self._ready or f in self._failed)
+            ]
+            for idx in fresh:
+                self._consumed.add(self.filenames[idx])
+            return fresh
+
+    def test_some(self) -> list[int]:
+        """Non-blocking variant of :meth:`wait_some` (``SIMFS_Testsome``)."""
+        with self._cond:
+            fresh = [
+                idx
+                for idx, f in enumerate(self.filenames)
+                if f not in self._consumed and (f in self._ready or f in self._failed)
+            ]
+            for idx in fresh:
+                self._consumed.add(self.filenames[idx])
+            return fresh
+
+    # ------------------------------------------------------------------ #
+    def _done_locked(self) -> bool:
+        return all(f in self._ready or f in self._failed for f in self.filenames)
+
+    def _some_locked(self) -> bool:
+        if self._done_locked():
+            return True
+        return any(
+            f not in self._consumed and (f in self._ready or f in self._failed)
+            for f in self.filenames
+        )

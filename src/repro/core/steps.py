@@ -1,0 +1,215 @@
+"""Output/restart step arithmetic (paper Sec. II-A).
+
+A forward-in-time simulation advances in *timesteps* ``t=0, 1, 2, ...``.
+Two cadences are overlaid on the timestep axis:
+
+* every ``delta_d`` timesteps the simulator emits an **output step**
+  (the files analyses read), and
+* every ``delta_r`` timesteps it emits a **restart step** (a checkpoint the
+  simulation can be restarted from).
+
+Output steps are indexed ``d_1, d_2, ...`` with ``d_i`` at timestep
+``i * delta_d``; restart steps are indexed ``r_0, r_1, ...`` with ``r_j`` at
+timestep ``j * delta_r`` (``r_0`` is the initial condition, always available).
+
+To (re)produce output step ``d_i`` the simulation restarts from the closest
+previous restart step ``R(d_i) = floor(i*delta_d / delta_r)`` and, to exploit
+spatial locality, runs until at least the *next* restart step
+``ceil(i*delta_d / delta_r)``.
+
+The **miss cost** of ``d_i`` (used by the BCL/DCL replacement schemes,
+Sec. III-D) is its distance, in output steps, from its closest previous
+restart step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import InvalidArgumentError
+
+__all__ = ["StepGeometry"]
+
+
+@dataclass(frozen=True)
+class StepGeometry:
+    """Immutable description of a simulation's output/restart cadence.
+
+    Parameters
+    ----------
+    delta_d:
+        Number of timesteps between two consecutive output steps (``Δd``).
+    delta_r:
+        Number of timesteps between two consecutive restart steps (``Δr``).
+    num_timesteps:
+        Total length of the original simulation in timesteps, or ``None``
+        for an unbounded (still running / arbitrarily long) simulation.
+    """
+
+    delta_d: int
+    delta_r: int
+    num_timesteps: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.delta_d <= 0:
+            raise InvalidArgumentError(f"delta_d must be positive, got {self.delta_d}")
+        if self.delta_r <= 0:
+            raise InvalidArgumentError(f"delta_r must be positive, got {self.delta_r}")
+        if self.num_timesteps is not None and self.num_timesteps < 0:
+            raise InvalidArgumentError(
+                f"num_timesteps must be non-negative, got {self.num_timesteps}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Counts
+    # ------------------------------------------------------------------ #
+    @property
+    def num_output_steps(self) -> int:
+        """``n_o = floor(n / Δd)`` — output steps of the full simulation."""
+        if self.num_timesteps is None:
+            raise InvalidArgumentError("geometry is unbounded (num_timesteps=None)")
+        return self.num_timesteps // self.delta_d
+
+    @property
+    def num_restart_steps(self) -> int:
+        """``n_r = floor(n / Δr)`` — restart steps of the full simulation.
+
+        This counts restarts ``r_1 .. r_nr``; the initial condition ``r_0``
+        exists regardless.
+        """
+        if self.num_timesteps is None:
+            raise InvalidArgumentError("geometry is unbounded (num_timesteps=None)")
+        return self.num_timesteps // self.delta_r
+
+    @property
+    def outputs_per_restart_interval(self) -> float:
+        """Average number of output steps per restart interval (``Δr/Δd``)."""
+        return self.delta_r / self.delta_d
+
+    # ------------------------------------------------------------------ #
+    # Index <-> timestep mapping
+    # ------------------------------------------------------------------ #
+    def timestep_of_output(self, i: int) -> int:
+        """Timestep at which output step ``d_i`` is emitted."""
+        self._check_output_index(i)
+        return i * self.delta_d
+
+    def timestep_of_restart(self, j: int) -> int:
+        """Timestep at which restart step ``r_j`` is emitted."""
+        if j < 0:
+            raise InvalidArgumentError(f"restart index must be >= 0, got {j}")
+        return j * self.delta_r
+
+    def output_at_or_before(self, timestep: int) -> int:
+        """Index of the last output step emitted at or before ``timestep``."""
+        if timestep < 0:
+            raise InvalidArgumentError(f"timestep must be >= 0, got {timestep}")
+        return timestep // self.delta_d
+
+    # ------------------------------------------------------------------ #
+    # Restart placement (paper Sec. II-A)
+    # ------------------------------------------------------------------ #
+    def restart_before(self, i: int) -> int:
+        """``R(d_i)``: closest restart step *strictly* before ``d_i``.
+
+        A re-simulation producing ``d_i`` must start from ``r_{R(d_i)}``.
+        The paper writes ``R(d_i) = floor(i*Δd / Δr)``; the two definitions
+        differ only when ``d_i`` coincides with a restart step, where the
+        paper's formula would start the simulation *at* ``d_i`` and produce
+        nothing.  Production windows are exclusive of the starting
+        checkpoint (a job from ``r_s`` emits outputs in ``(s*Δr, e*Δr]``,
+        exactly the SIM#1/SIM#2 windows of the paper's Figs. 7-10), so the
+        strictly-previous restart is the one that actually (re)produces an
+        aligned output step.
+        """
+        self._check_output_index(i)
+        return (i * self.delta_d - 1) // self.delta_r
+
+    def restart_after(self, i: int) -> int:
+        """Closest restart step at or after output step ``d_i``.
+
+        Re-simulations run until at least this restart step to exploit
+        spatial locality.  With the strictly-previous ``restart_before``
+        this is always ``restart_before(i) + 1``: the canonical job spans
+        exactly one restart interval.
+        """
+        self._check_output_index(i)
+        return math.ceil(i * self.delta_d / self.delta_r)
+
+    def is_restart_aligned(self, i: int) -> bool:
+        """True if output step ``d_i`` coincides with a restart step."""
+        self._check_output_index(i)
+        return (i * self.delta_d) % self.delta_r == 0
+
+    # ------------------------------------------------------------------ #
+    # Re-simulation extents and costs
+    # ------------------------------------------------------------------ #
+    def miss_cost(self, i: int) -> int:
+        """Distance, in output steps, of ``d_i`` from its previous restart.
+
+        This is the number of output steps a re-simulation starting at
+        ``r_{R(d_i)}`` must produce up to and including ``d_i``; concretely
+        ``i - floor(R(d_i)*Δr / Δd)``, always in
+        ``[1, ceil(Δr/Δd)]`` (producing any output step costs at least one
+        output-step production, even one aligned with a restart).
+        """
+        self._check_output_index(i)
+        restart_ts = self.restart_before(i) * self.delta_r
+        return i - restart_ts // self.delta_d
+
+    def resim_outputs(self, i: int) -> range:
+        """Output-step indices produced by the canonical re-simulation of ``d_i``.
+
+        The re-simulation runs from ``r_{R(d_i)}`` to ``r_{restart_after(i)}``
+        (exactly one restart interval), emitting every output step whose
+        timestep lies in that window, *excluding* outputs at or before the
+        starting checkpoint.
+        """
+        self._check_output_index(i)
+        start_r = self.restart_before(i)
+        stop_r = self.restart_after(i)
+        first = start_r * self.delta_r // self.delta_d + 1
+        last = stop_r * self.delta_r // self.delta_d
+        if self.num_timesteps is not None:
+            last = min(last, self.num_output_steps)
+        return range(first, last + 1)
+
+    def resim_job_extent(self, i: int) -> tuple[int, int]:
+        """(start restart index, stop restart index) of the canonical job."""
+        return self.restart_before(i), self.restart_after(i)
+
+    def outputs_between_restarts(self, start_r: int, stop_r: int) -> range:
+        """Output steps produced by a job running from ``r_start`` to ``r_stop``."""
+        if stop_r <= start_r:
+            raise InvalidArgumentError(
+                f"stop restart {stop_r} must be > start restart {start_r}"
+            )
+        first = start_r * self.delta_r // self.delta_d + 1
+        last = stop_r * self.delta_r // self.delta_d
+        if self.num_timesteps is not None:
+            last = min(last, self.num_output_steps)
+        return range(first, last + 1)
+
+    def round_up_to_restart_outputs(self, n: int) -> int:
+        """Round a re-simulation length ``n`` (in output steps) up to a
+        whole number of restart intervals (paper Sec. IV-B1a).
+
+        Works in timestep space so that non-divisible ``Δr/Δd`` ratios are
+        handled exactly: the job spans ``ceil(n*Δd / Δr)`` restart intervals
+        and the result is the number of output steps inside that span.
+        """
+        if n <= 0:
+            raise InvalidArgumentError(f"re-simulation length must be > 0, got {n}")
+        intervals = math.ceil(n * self.delta_d / self.delta_r)
+        return (intervals * self.delta_r) // self.delta_d
+
+    # ------------------------------------------------------------------ #
+    def _check_output_index(self, i: int) -> None:
+        if i < 1:
+            raise InvalidArgumentError(f"output step index must be >= 1, got {i}")
+        if self.num_timesteps is not None and i > self.num_output_steps:
+            raise InvalidArgumentError(
+                f"output step {i} beyond simulation end "
+                f"(last is {self.num_output_steps})"
+            )

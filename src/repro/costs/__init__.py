@@ -1,0 +1,46 @@
+"""Sec. V cost models and the cost-effectiveness studies behind
+Figs. 1 and 12-15."""
+
+from repro.costs.analysis import (
+    CostRow,
+    SpaceRow,
+    analyses_sweep,
+    availability_sweep,
+    cost_ratio_heatmap,
+    overlap_sweep,
+    resim_volume,
+    scenario_geometry,
+    space_tradeoff,
+)
+from repro.costs.models import (
+    AZURE_COSTS,
+    COSMO_COST_SCENARIO,
+    CostParams,
+    PIZ_DAINT_COSTS,
+    c_sim,
+    c_store,
+    in_situ_cost,
+    on_disk_cost,
+    simfs_cost,
+)
+
+__all__ = [
+    "AZURE_COSTS",
+    "COSMO_COST_SCENARIO",
+    "CostParams",
+    "CostRow",
+    "PIZ_DAINT_COSTS",
+    "SpaceRow",
+    "analyses_sweep",
+    "availability_sweep",
+    "c_sim",
+    "c_store",
+    "cost_ratio_heatmap",
+    "in_situ_cost",
+    "on_disk_cost",
+    "overlap_sweep",
+    "resim_volume",
+    "scenario_geometry",
+    "simfs_cost",
+    "space_tradeoff",
+]

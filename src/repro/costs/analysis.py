@@ -1,0 +1,336 @@
+"""Cost-effectiveness studies (paper Sec. V-A/V-B, Figs. 1, 12, 13, 14, 15).
+
+Each function regenerates the data series of one figure: it builds the
+COSMO cost scenario, generates the multi-analysis workload, obtains the
+re-simulation volume ``V(γ)`` by replaying the merged trace through the
+cache model (DCL by default, as fixed in Sec. III-D), and evaluates the
+three cost models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.steps import StepGeometry
+from repro.costs.models import (
+    AZURE_COSTS,
+    COSMO_COST_SCENARIO,
+    CostParams,
+    PIZ_DAINT_COSTS,
+    c_sim,
+    in_situ_cost,
+    on_disk_cost,
+    simfs_cost,
+)
+from repro.traces.replay import replay_trace
+from repro.traces.workload import ForwardWorkload
+
+__all__ = [
+    "CostRow",
+    "SpaceRow",
+    "scenario_geometry",
+    "resim_volume",
+    "availability_sweep",
+    "overlap_sweep",
+    "analyses_sweep",
+    "cost_ratio_heatmap",
+    "space_tradeoff",
+    "TIMESTEP_SECONDS",
+    "DEFAULT_ANALYSIS_LENGTH",
+]
+
+#: Simulated seconds per timestep in the COSMO cost scenario.
+TIMESTEP_SECONDS = 20.0
+
+#: Output steps accessed by each synthetic analysis (the paper does not
+#: publish this; 1000 steps ≈ 3.5 simulated days of a ~30-day run).
+DEFAULT_ANALYSIS_LENGTH = 1000
+
+
+@dataclass(frozen=True)
+class CostRow:
+    """One point of a cost figure."""
+
+    months: float
+    restart_hours: float
+    cache_fraction: float
+    overlap: float
+    num_analyses: int
+    on_disk: float
+    in_situ: float
+    simfs: float
+    resim_outputs: int
+
+    @property
+    def winner(self) -> str:
+        best = min(self.on_disk, self.in_situ, self.simfs)
+        if best == self.simfs:
+            return "simfs"
+        return "on-disk" if best == self.on_disk else "in-situ"
+
+
+@dataclass(frozen=True)
+class SpaceRow:
+    """One point of the Fig. 15b/c space tradeoff."""
+
+    restart_hours: float
+    cache_fraction: float
+    restart_space_tib: float
+    total_space_tib: float
+    simfs_cost: float
+    resim_hours: float
+
+
+def scenario_geometry(
+    params: CostParams = COSMO_COST_SCENARIO, restart_hours: float = 8.0
+) -> StepGeometry:
+    """Step geometry of the cost scenario for a given restart interval."""
+    delta_d = 15
+    delta_r = int(restart_hours * 3600.0 / TIMESTEP_SECONDS)
+    return StepGeometry(
+        delta_d=delta_d,
+        delta_r=delta_r,
+        num_timesteps=params.num_output_steps * delta_d,
+    )
+
+
+def resim_volume(
+    workload: ForwardWorkload,
+    geometry: StepGeometry,
+    cache_fraction: float,
+    policy: str = "dcl",
+) -> int:
+    """``V(γ)``: output steps SimFS re-simulates for this workload."""
+    result = replay_trace(
+        workload.merged_trace(),
+        geometry,
+        policy,
+        cache_fraction=cache_fraction,
+    )
+    return result.simulated_outputs
+
+
+def _make_workload(
+    params: CostParams, num_analyses: int, overlap: float,
+    analysis_length: int, seed: int,
+) -> ForwardWorkload:
+    return ForwardWorkload(
+        num_output_steps=params.num_output_steps,
+        num_analyses=num_analyses,
+        analysis_length=analysis_length,
+        overlap=overlap,
+        seed=seed,
+    )
+
+
+def _evaluate(
+    params: CostParams,
+    months: float,
+    restart_hours: float,
+    cache_fraction: float,
+    overlap: float,
+    num_analyses: int,
+    analysis_length: int,
+    seed: int,
+    policy: str = "dcl",
+) -> CostRow:
+    scenario = params.with_restart_interval(
+        restart_hours * 3600.0 / TIMESTEP_SECONDS / 15.0
+    )
+    geometry = scenario_geometry(scenario, restart_hours)
+    workload = _make_workload(scenario, num_analyses, overlap, analysis_length, seed)
+    volume = resim_volume(workload, geometry, cache_fraction, policy)
+    cache_steps = int(scenario.num_output_steps * cache_fraction)
+    return CostRow(
+        months=months,
+        restart_hours=restart_hours,
+        cache_fraction=cache_fraction,
+        overlap=overlap,
+        num_analyses=num_analyses,
+        on_disk=on_disk_cost(scenario, months),
+        in_situ=in_situ_cost(scenario, workload.analyses()),
+        simfs=simfs_cost(scenario, months, cache_steps, volume),
+        resim_outputs=volume,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure generators
+# --------------------------------------------------------------------- #
+def availability_sweep(
+    months_list: tuple[float, ...] = (6, 12, 24, 36, 48, 60),
+    restart_hours_list: tuple[float, ...] = (8.0,),
+    cache_fractions: tuple[float, ...] = (0.25,),
+    num_analyses: int = 100,
+    overlap: float = 0.5,
+    analysis_length: int = DEFAULT_ANALYSIS_LENGTH,
+    params: CostParams = COSMO_COST_SCENARIO,
+    seed: int = 1,
+) -> list[CostRow]:
+    """Figs. 1 and 12: cost vs. data availability period.
+
+    Fig. 1 is the single-configuration slice (Δr = 8 h, cache 25 %);
+    Fig. 12 sweeps Δr ∈ {4, 8, 16} h and cache ∈ {25, 50} %.
+    """
+    rows = []
+    for restart_hours in restart_hours_list:
+        for cache in cache_fractions:
+            # V(γ) does not depend on Δt: evaluate once per configuration.
+            base = _evaluate(
+                params, months_list[0], restart_hours, cache,
+                overlap, num_analyses, analysis_length, seed,
+            )
+            for months in months_list:
+                scenario = params.with_restart_interval(
+                    restart_hours * 3600.0 / TIMESTEP_SECONDS / 15.0
+                )
+                cache_steps = int(scenario.num_output_steps * cache)
+                rows.append(
+                    CostRow(
+                        months=months,
+                        restart_hours=restart_hours,
+                        cache_fraction=cache,
+                        overlap=overlap,
+                        num_analyses=num_analyses,
+                        on_disk=on_disk_cost(scenario, months),
+                        in_situ=base.in_situ,
+                        simfs=simfs_cost(
+                            scenario, months, cache_steps, base.resim_outputs
+                        ),
+                        resim_outputs=base.resim_outputs,
+                    )
+                )
+    return rows
+
+
+def overlap_sweep(
+    overlaps: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    restart_hours_list: tuple[float, ...] = (4.0, 8.0, 16.0),
+    cache_fractions: tuple[float, ...] = (0.25, 0.5),
+    months: float = 24.0,
+    num_analyses: int = 100,
+    analysis_length: int = DEFAULT_ANALYSIS_LENGTH,
+    params: CostParams = COSMO_COST_SCENARIO,
+    seed: int = 1,
+) -> list[CostRow]:
+    """Fig. 13: cost vs. analyses execution overlap at Δt = 2 y."""
+    return [
+        _evaluate(params, months, rh, cache, overlap, num_analyses,
+                  analysis_length, seed)
+        for rh in restart_hours_list
+        for cache in cache_fractions
+        for overlap in overlaps
+    ]
+
+
+def analyses_sweep(
+    analysis_counts: tuple[int, ...] = (1, 5, 10, 20, 50, 75, 100, 125),
+    restart_hours_list: tuple[float, ...] = (4.0, 8.0, 16.0),
+    cache_fractions: tuple[float, ...] = (0.25, 0.5),
+    months: float = 24.0,
+    overlap: float = 0.5,
+    analysis_length: int = DEFAULT_ANALYSIS_LENGTH,
+    params: CostParams = COSMO_COST_SCENARIO,
+    seed: int = 1,
+) -> list[CostRow]:
+    """Fig. 14: cost vs. total number of analyses at Δt = 2 y."""
+    return [
+        _evaluate(params, months, rh, cache, overlap, z, analysis_length, seed)
+        for rh in restart_hours_list
+        for cache in cache_fractions
+        for z in analysis_counts
+    ]
+
+
+def cost_ratio_heatmap(
+    storage_costs: tuple[float, ...] = (0.02, 0.06, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35),
+    compute_costs: tuple[float, ...] = (0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0),
+    months: float = 36.0,
+    cache_fraction: float = 0.25,
+    restart_hours: float = 8.0,
+    num_analyses: int = 100,
+    overlap: float = 0.5,
+    analysis_length: int = DEFAULT_ANALYSIS_LENGTH,
+    params: CostParams = COSMO_COST_SCENARIO,
+    seed: int = 1,
+) -> list[dict]:
+    """Fig. 15a: min(on-disk, in-situ)/SimFS cost ratio over (cs, cc).
+
+    Ratio > 1 means SimFS is the cheapest option at that price point.
+    The Azure and Piz Daint datapoints of the paper are included via
+    :data:`AZURE_COSTS` / :data:`PIZ_DAINT_COSTS`.
+    """
+    base = _evaluate(
+        params, months, restart_hours, cache_fraction, overlap,
+        num_analyses, analysis_length, seed,
+    )
+    cells = []
+    points = [(cs, cc) for cs in storage_costs for cc in compute_costs]
+    points.append((AZURE_COSTS["storage_cost"], AZURE_COSTS["compute_cost"]))
+    points.append((PIZ_DAINT_COSTS["storage_cost"], PIZ_DAINT_COSTS["compute_cost"]))
+    for cs, cc in points:
+        scenario = params.with_restart_interval(
+            restart_hours * 3600.0 / TIMESTEP_SECONDS / 15.0
+        ).with_costs(cc, cs)
+        workload = _make_workload(
+            scenario, num_analyses, overlap, analysis_length, seed
+        )
+        cache_steps = int(scenario.num_output_steps * cache_fraction)
+        disk = on_disk_cost(scenario, months)
+        situ = in_situ_cost(scenario, workload.analyses())
+        sim = simfs_cost(scenario, months, cache_steps, base.resim_outputs)
+        cells.append(
+            {
+                "storage_cost": cs,
+                "compute_cost": cc,
+                "on_disk": disk,
+                "in_situ": situ,
+                "simfs": sim,
+                "ratio": min(disk, situ) / sim,
+            }
+        )
+    return cells
+
+
+def space_tradeoff(
+    restart_hours_list: tuple[float, ...] = (4.0, 8.0, 16.0, 32.0),
+    cache_fractions: tuple[float, ...] = (0.25, 0.5),
+    months: float = 36.0,
+    num_analyses: int = 100,
+    overlap: float = 0.5,
+    analysis_length: int = DEFAULT_ANALYSIS_LENGTH,
+    params: CostParams = COSMO_COST_SCENARIO,
+    seed: int = 1,
+) -> list[SpaceRow]:
+    """Fig. 15b/c: SimFS cost and re-simulation compute time as functions
+    of the storage space devoted to restart files (i.e. of Δr)."""
+    rows = []
+    for restart_hours in restart_hours_list:
+        for cache in cache_fractions:
+            row = _evaluate(
+                params, months, restart_hours, cache, overlap,
+                num_analyses, analysis_length, seed,
+            )
+            scenario = params.with_restart_interval(
+                restart_hours * 3600.0 / TIMESTEP_SECONDS / 15.0
+            )
+            restart_tib = (
+                scenario.num_restart_steps * scenario.restart_step_gib / 1024.0
+            )
+            cache_tib = (
+                int(scenario.num_output_steps * cache)
+                * scenario.output_step_gib
+                / 1024.0
+            )
+            resim_hours = row.resim_outputs * scenario.tau_sim / 3600.0
+            rows.append(
+                SpaceRow(
+                    restart_hours=restart_hours,
+                    cache_fraction=cache,
+                    restart_space_tib=restart_tib,
+                    total_space_tib=restart_tib + cache_tib,
+                    simfs_cost=row.simfs,
+                    resim_hours=resim_hours,
+                )
+            )
+    return rows

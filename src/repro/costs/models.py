@@ -1,0 +1,160 @@
+"""Cost models for on-disk, in-situ, and SimFS analysis (paper Sec. V).
+
+Building blocks (Table II symbols):
+
+* ``C_sim(O, P) = O * tau_sim(P) * P * cc`` — simulating ``O`` output steps
+  on ``P`` nodes at ``cc`` $/node/hour (τ converted to hours);
+* ``C_store(F, m, Δt) = F * m * Δt * cs`` — storing ``F`` files of ``m``
+  GiB for ``Δt`` months at ``cs`` $/GiB/month.
+
+Solution costs:
+
+* on-disk: initial simulation + storing all ``n_o`` output steps;
+* in-situ: per analysis ``j`` starting at step ``i_j``, a simulation of
+  ``i_j + |γ(j)|`` output steps (everything before the start is simulated
+  but unused);
+* SimFS: initial simulation + storing the ``n_r`` restart files and the
+  ``M``-step cache + re-simulating the ``V(γ)`` missed output steps.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.errors import InvalidArgumentError
+from repro.traces.workload import AnalysisRun
+
+__all__ = [
+    "CostParams",
+    "c_sim",
+    "c_store",
+    "on_disk_cost",
+    "in_situ_cost",
+    "simfs_cost",
+    "AZURE_COSTS",
+    "PIZ_DAINT_COSTS",
+    "COSMO_COST_SCENARIO",
+]
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Platform + simulation calibration of the Sec. V cost models."""
+
+    compute_cost: float        #: cc, $/node/hour
+    storage_cost: float        #: cs, $/GiB/month
+    nodes: int                 #: P, nodes used by (re-)simulations
+    tau_sim: float             #: seconds per output step at P nodes
+    output_step_gib: float     #: so
+    restart_step_gib: float    #: sr
+    num_output_steps: int      #: n_o of the full simulation
+    outputs_per_restart: float  #: Δr/Δd — sets n_r = n_o / this
+
+    def __post_init__(self) -> None:
+        for name in ("compute_cost", "storage_cost", "tau_sim",
+                     "output_step_gib", "restart_step_gib"):
+            if getattr(self, name) <= 0:
+                raise InvalidArgumentError(f"{name} must be > 0")
+        if self.nodes < 1 or self.num_output_steps < 1:
+            raise InvalidArgumentError("nodes and num_output_steps must be >= 1")
+        if self.outputs_per_restart <= 0:
+            raise InvalidArgumentError("outputs_per_restart must be > 0")
+
+    @property
+    def num_restart_steps(self) -> int:
+        """``n_r``: restart files of the initial simulation."""
+        return int(self.num_output_steps / self.outputs_per_restart)
+
+    @property
+    def total_output_gib(self) -> float:
+        """Total output data volume."""
+        return self.num_output_steps * self.output_step_gib
+
+    def with_costs(self, compute_cost: float, storage_cost: float) -> "CostParams":
+        """Same scenario on a different platform price point (Fig. 15a)."""
+        from dataclasses import replace
+
+        return replace(self, compute_cost=compute_cost, storage_cost=storage_cost)
+
+    def with_restart_interval(self, outputs_per_restart: float) -> "CostParams":
+        """Same scenario with a different Δr (Figs. 12/15b)."""
+        from dataclasses import replace
+
+        return replace(self, outputs_per_restart=outputs_per_restart)
+
+
+def c_sim(outputs: float, params: CostParams) -> float:
+    """``C_sim(O, P)`` in dollars."""
+    if outputs < 0:
+        raise InvalidArgumentError(f"outputs must be >= 0, got {outputs}")
+    hours_per_output = params.tau_sim / 3600.0
+    return outputs * hours_per_output * params.nodes * params.compute_cost
+
+
+def c_store(files: float, size_gib: float, months: float, params: CostParams) -> float:
+    """``C_store(F, m, Δt)`` in dollars."""
+    if files < 0 or months < 0:
+        raise InvalidArgumentError("files and months must be >= 0")
+    return files * size_gib * months * params.storage_cost
+
+
+def on_disk_cost(params: CostParams, months: float) -> float:
+    """``C_on-disk(Δt)``: initial simulation + full output stored for Δt."""
+    return c_sim(params.num_output_steps, params) + c_store(
+        params.num_output_steps, params.output_step_gib, months, params
+    )
+
+
+def in_situ_cost(params: CostParams, analyses: Iterable[AnalysisRun]) -> float:
+    """``C_in-situ``: one simulation from step 0 per analysis.
+
+    Independent of Δt — nothing is stored.
+    """
+    total = 0.0
+    for run in analyses:
+        total += c_sim(run.start_step - 1 + run.length, params)
+    return total
+
+
+def simfs_cost(
+    params: CostParams,
+    months: float,
+    cache_steps: int,
+    resimulated_outputs: int,
+) -> float:
+    """``C_SimFS(Δt)``: initial simulation + restart & cache storage +
+    re-simulation of the ``V(γ)`` missed steps."""
+    if cache_steps < 0 or resimulated_outputs < 0:
+        raise InvalidArgumentError("cache_steps and V must be >= 0")
+    return (
+        c_sim(params.num_output_steps, params)
+        + c_store(params.num_restart_steps, params.restart_step_gib, months, params)
+        + c_store(cache_steps, params.output_step_gib, months, params)
+        + c_sim(resimulated_outputs, params)
+    )
+
+
+# --------------------------------------------------------------------- #
+# The paper's calibrations (Sec. V-A / V-B)
+# --------------------------------------------------------------------- #
+#: Microsoft Azure calibration: NCv2 VM (P100 GPU) + Azure File share.
+AZURE_COSTS = {"compute_cost": 2.07, "storage_cost": 0.06}
+
+#: Piz Daint price point derived from the CSCS cost catalog (Fig. 15a).
+PIZ_DAINT_COSTS = {"compute_cost": 1.04, "storage_cost": 0.12}
+
+#: COSMO production scenario: 20 s timesteps, Δd = 15 (one 6 GiB output
+#: step every 5 simulated minutes, produced in τsim(100) = 20 s), 36 GiB
+#: restarts, 50 TiB total output -> n_o = 50 TiB / 6 GiB = 8533 steps.
+#: Δr = 8 h of simulated time = 1440 timesteps = 96 output steps.
+COSMO_COST_SCENARIO = CostParams(
+    compute_cost=AZURE_COSTS["compute_cost"],
+    storage_cost=AZURE_COSTS["storage_cost"],
+    nodes=100,
+    tau_sim=20.0,
+    output_step_gib=6.0,
+    restart_step_gib=36.0,
+    num_output_steps=8533,
+    outputs_per_restart=96.0,
+)

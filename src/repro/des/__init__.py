@@ -1,0 +1,23 @@
+"""Virtual-time mode: deterministic DES engine, the coordinator wired to
+it, and the Sec. VI experiment runners (Figs. 16-19)."""
+
+from repro.des.components import DESExecutor, VirtualAnalysis, VirtualSimFS
+from repro.des.engine import DESEngine, EventHandle
+from repro.des.experiment import (
+    LatencyPoint,
+    ScalingPoint,
+    latency_experiment,
+    scaling_experiment,
+)
+
+__all__ = [
+    "DESEngine",
+    "DESExecutor",
+    "EventHandle",
+    "LatencyPoint",
+    "ScalingPoint",
+    "VirtualAnalysis",
+    "VirtualSimFS",
+    "latency_experiment",
+    "scaling_experiment",
+]

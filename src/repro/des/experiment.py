@@ -1,0 +1,174 @@
+"""Virtual-time experiment runners for the paper's Sec. VI figures.
+
+* :func:`scaling_experiment` — Figs. 16/18: analysis completion time as a
+  function of ``smax`` (the cap on concurrent re-simulations), for forward
+  and backward trajectories, against the full-forward-re-simulation
+  reference ``T_single``.
+* :func:`latency_experiment` — Figs. 17/19: analysis completion time under
+  swept restart latencies ``αsim`` and analysis lengths ``m``, with the
+  analytic ``T_pre``/``T_single``/``T_lower`` overlays of Sec. IV-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.context import ContextConfig, SimulationContext
+from repro.core.errors import InvalidArgumentError
+from repro.core.perfmodel import PerformanceModel
+from repro.des.components import VirtualSimFS
+from repro.prefetch import planner
+from repro.simulators import SyntheticDriver
+
+__all__ = ["ScalingPoint", "LatencyPoint", "scaling_experiment", "latency_experiment"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One bar of a strong-scaling figure (16/18)."""
+
+    smax: int
+    direction: str
+    running_time: float
+    full_forward_time: float
+    misses: int
+    restarts: int
+
+    @property
+    def speedup(self) -> float:
+        """Scaling factor w.r.t. the full forward re-simulation."""
+        return self.full_forward_time / self.running_time
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """One point of a prefetching-under-latency figure (17/19)."""
+
+    alpha_sim: float
+    m: int
+    running_time: float
+    t_single: float
+    t_lower: float
+    t_pre: float
+
+
+def _make_context(
+    config: ContextConfig, perf: PerformanceModel, alpha_override: float | None = None
+) -> SimulationContext:
+    if alpha_override is not None:
+        from dataclasses import replace
+
+        perf = replace(perf, alpha_sim=alpha_override)
+    driver = SyntheticDriver(config.geometry, prefix=config.name, cells=4)
+    return SimulationContext(config=config, driver=driver, perf=perf)
+
+
+def _run_analysis(
+    context: SimulationContext,
+    keys: list[int],
+    tau_cli: float,
+) -> tuple[float, int, int]:
+    """Run one analysis to completion; returns (time, misses, restarts)."""
+    simfs = VirtualSimFS()
+    simfs.add_context(context)
+    analysis = simfs.add_analysis(context, keys, tau_cli)
+    simfs.run()
+    if not analysis.done:
+        raise RuntimeError(
+            "analysis did not finish: DES queue drained with "
+            f"{analysis._idx}/{len(keys)} accesses served"
+        )
+    return (
+        analysis.running_time,
+        analysis.miss_count,
+        simfs.coordinator.total_restarts,
+    )
+
+
+def scaling_experiment(
+    config: ContextConfig,
+    perf: PerformanceModel,
+    m: int,
+    smax_values: tuple[int, ...] = (2, 4, 8, 16),
+    tau_cli: float = 0.1,
+    directions: tuple[str, ...] = ("forward", "backward"),
+    start_key: int = 1,
+) -> list[ScalingPoint]:
+    """Figs. 16/18: completion time vs. ``smax``, forward and backward.
+
+    The analysis accesses ``m`` output steps starting at ``start_key``
+    (ascending or descending over the same set), with an empty cache —
+    every interval must be re-simulated.
+    """
+    if m < 1:
+        raise InvalidArgumentError(f"m must be >= 1, got {m}")
+    t_single = planner.single_simulation_time(perf.alpha_sim, perf.tau_sim, m)
+    points = []
+    for smax in smax_values:
+        for direction in directions:
+            if direction == "forward":
+                keys = list(range(start_key, start_key + m))
+            elif direction == "backward":
+                keys = list(range(start_key + m - 1, start_key - 1, -1))
+            else:
+                raise InvalidArgumentError(f"unknown direction {direction!r}")
+            context = _make_context(config.with_overrides(smax=smax), perf)
+            time, misses, restarts = _run_analysis(context, keys, tau_cli)
+            points.append(
+                ScalingPoint(
+                    smax=smax,
+                    direction=direction,
+                    running_time=time,
+                    full_forward_time=t_single,
+                    misses=misses,
+                    restarts=restarts,
+                )
+            )
+    return points
+
+
+def latency_experiment(
+    config: ContextConfig,
+    perf: PerformanceModel,
+    alpha_values: tuple[float, ...],
+    m_values: tuple[int, ...],
+    smax: int = 8,
+    tau_cli: float = 0.1,
+    start_key: int = 1,
+) -> list[LatencyPoint]:
+    """Figs. 17/19: forward analysis time under swept restart latencies.
+
+    Uses the synthetic simulator exactly as the paper does ("we use a
+    synthetic simulator that can be configured to produce output steps at a
+    given rate and after a given restart latency"), keeping the production
+    rate of the calibrated context.
+    """
+    geo = config.geometry
+    points = []
+    for m in m_values:
+        for alpha in alpha_values:
+            context = _make_context(
+                config.with_overrides(smax=smax), perf, alpha_override=alpha
+            )
+            keys = list(range(start_key, start_key + m))
+            time, _misses, _restarts = _run_analysis(context, keys, tau_cli)
+            n = planner.forward_resim_length(
+                alpha, perf.tau_sim, tau_cli, 1, geo
+            )
+            points.append(
+                LatencyPoint(
+                    alpha_sim=alpha,
+                    m=m,
+                    running_time=time,
+                    t_single=planner.single_simulation_time(
+                        alpha, perf.tau_sim, m
+                    ),
+                    t_lower=planner.lower_bound_time(
+                        alpha, perf.tau_sim, m, smax
+                    ),
+                    t_pre=planner.forward_warmup_time(
+                        alpha, perf.tau_sim, n, geo
+                    ),
+                )
+            )
+    return points

@@ -1,0 +1,22 @@
+"""The Data Virtualizer: coordinator core, real-mode launcher, wire
+protocol, and the TCP daemon."""
+
+from repro.dv.coordinator import (
+    DVCoordinator,
+    Notification,
+    OpenResult,
+    RunningSim,
+    SimulationExecutor,
+)
+from repro.dv.launcher import ThreadedLauncher
+from repro.dv.server import DVServer
+
+__all__ = [
+    "DVCoordinator",
+    "DVServer",
+    "Notification",
+    "OpenResult",
+    "RunningSim",
+    "SimulationExecutor",
+    "ThreadedLauncher",
+]

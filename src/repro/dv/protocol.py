@@ -1,0 +1,91 @@
+"""DV wire protocol: newline-delimited JSON over TCP (paper Fig. 4).
+
+The original SimFS exchanges control messages between DVLib and the DV over
+TCP/IP; data moves through the parallel file system.  The reproduction uses
+the same split with a simple framed-JSON protocol.
+
+Client -> DV requests (each carries a ``req`` sequence number):
+
+===========  =============================================================
+``hello``    attach a client to a context (``SIMFS_Init``)
+``open``     request one file (transparent open / blocking acquire)
+``acquire``  request a set of files (``SIMFS_Acquire``)
+``release``  drop the reference to a file (``SIMFS_Release`` / read close)
+``wclose``   a *simulator* closed an output file (file-ready signal)
+``bitrep``   compare a file against its recorded checksum
+``finalize`` detach the client (``SIMFS_Finalize``)
+===========  =============================================================
+
+DV -> client messages: ``reply`` (matched to ``req``) and unsolicited
+``ready`` notifications for files the client waits on.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from repro.core.errors import ProtocolError
+
+__all__ = [
+    "encode_message",
+    "decode_message",
+    "MessageReader",
+    "send_message",
+]
+
+_MAX_MESSAGE = 1 << 20  # 1 MiB of JSON is far beyond any legal message
+
+
+def encode_message(message: dict[str, Any]) -> bytes:
+    """Serialize one protocol message to a newline-terminated JSON line."""
+    if "op" not in message:
+        raise ProtocolError("message missing 'op'")
+    line = json.dumps(message, separators=(",", ":"), sort_keys=True)
+    if "\n" in line:
+        raise ProtocolError("message payload must not contain newlines")
+    return line.encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> dict[str, Any]:
+    """Parse one JSON line into a message dict."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed protocol line: {exc}") from exc
+    if not isinstance(message, dict) or "op" not in message:
+        raise ProtocolError("protocol message must be an object with 'op'")
+    return message
+
+
+def send_message(sock: socket.socket, message: dict[str, Any]) -> None:
+    """Send one message over a connected socket."""
+    sock.sendall(encode_message(message))
+
+
+class MessageReader:
+    """Incremental newline-framed reader over a socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._buffer = bytearray()
+
+    def read_message(self) -> dict[str, Any] | None:
+        """Read the next message; returns ``None`` on orderly EOF."""
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[:newline])
+                del self._buffer[: newline + 1]
+                if not line.strip():
+                    continue
+                return decode_message(line)
+            if len(self._buffer) > _MAX_MESSAGE:
+                raise ProtocolError("protocol line exceeds maximum size")
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                if self._buffer.strip():
+                    raise ProtocolError("connection closed mid-message")
+                return None
+            self._buffer += chunk

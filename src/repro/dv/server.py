@@ -1,0 +1,383 @@
+"""The DV daemon: a TCP front end over :class:`DVCoordinator` (Sec. III).
+
+One thread per client connection; all coordinator access is serialized
+through the launcher's lock.  Unsolicited ``ready`` notifications are
+pushed to the owning client's socket from whatever thread produced the
+file (a simulation worker or another client's handler).
+
+The daemon is also usable in-process via :meth:`DVServer.start` /
+:meth:`DVServer.stop` — integration tests and the examples run it that
+way on an ephemeral localhost port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import threading
+from dataclasses import dataclass
+
+from repro.core.context import SimulationContext
+from repro.core.errors import ErrorCode, SimFSError
+from repro.dv.coordinator import DVCoordinator, Notification
+from repro.dv.launcher import ThreadedLauncher
+from repro.dv.protocol import MessageReader, send_message
+from repro.util.clock import WallClock
+
+__all__ = ["DVServer", "main"]
+
+
+@dataclass
+class _ClientConn:
+    client_id: str
+    sock: socket.socket
+    send_lock: threading.Lock
+    contexts: set[str]
+
+
+class DVServer:
+    """Threaded TCP Data Virtualizer daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._host = host
+        self._port = port
+        self._clock = WallClock()
+        self.launcher = ThreadedLauncher(self._clock)
+        self.coordinator = DVCoordinator(self.launcher, notify=self._push_ready)
+        self.launcher.bind(self.coordinator)
+        self._lock = self.launcher.lock
+        self._clients: dict[str, _ClientConn] = {}
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._running = False
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+    def add_context(
+        self,
+        context: SimulationContext,
+        output_dir: str,
+        restart_dir: str,
+        alpha_delay: float = 0.0,
+        tau_delay: float = 0.0,
+    ) -> None:
+        """Register a context and where its files live."""
+        import os
+
+        os.makedirs(output_dir, exist_ok=True)
+        os.makedirs(restart_dir, exist_ok=True)
+
+        def delete_file(filename: str) -> None:
+            try:
+                os.unlink(os.path.join(output_dir, filename))
+            except FileNotFoundError:
+                pass
+
+        self.coordinator.register_context(context, on_evict_file=delete_file)
+        self.launcher.register_context(
+            context.name, context.driver, output_dir, restart_dir,
+            alpha_delay=alpha_delay, tau_delay=tau_delay,
+        )
+        # Files already on disk (e.g. from the initial simulation) are part
+        # of the cache state at daemon start.
+        state = self.coordinator.get_state(context.name)
+        for fname in sorted(os.listdir(output_dir)):
+            if context.driver.naming.is_output(fname):
+                key = context.key_of(fname)
+                cost = float(context.geometry.miss_cost(key))
+                state.area.insert(key, cost=cost)
+
+    def storage_path(self, context_name: str, filename: str) -> str:
+        import os
+
+        runtime = self.launcher._contexts[context_name]
+        return os.path.join(runtime.output_dir, filename)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) the daemon listens on; valid after :meth:`start`."""
+        assert self._listener is not None, "server not started"
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> None:
+        """Bind, listen, and accept clients on a background thread."""
+        self._listener = socket.create_server((self._host, self._port))
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="simfs-dv-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def stop(self) -> None:
+        """Stop accepting and close every client connection."""
+        self._running = False
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for conn in list(self._clients.values()):
+            try:
+                conn.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+        self._clients.clear()
+
+    def __enter__(self) -> "DVServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Networking internals
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._running:
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._serve_client, args=(sock,), daemon=True
+            ).start()
+
+    def _serve_client(self, sock: socket.socket) -> None:
+        reader = MessageReader(sock)
+        conn: _ClientConn | None = None
+        try:
+            while True:
+                message = reader.read_message()
+                if message is None:
+                    break
+                if conn is None:
+                    if message.get("op") != "hello":
+                        send_message(
+                            sock,
+                            {
+                                "op": "reply",
+                                "req": message.get("req"),
+                                "error": int(ErrorCode.ERR_PROTOCOL),
+                                "detail": "first message must be hello",
+                            },
+                        )
+                        continue
+                    conn = self._handle_hello(sock, message)
+                    continue
+                self._dispatch(conn, message)
+        except (SimFSError, OSError):
+            pass
+        finally:
+            if conn is not None:
+                self._drop_client(conn)
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _handle_hello(self, sock: socket.socket, message: dict) -> _ClientConn:
+        client_id = str(message.get("client_id"))
+        context_name = message.get("context")
+        conn = _ClientConn(client_id, sock, threading.Lock(), set())
+        error = int(ErrorCode.SUCCESS)
+        detail = ""
+        if context_name:
+            try:
+                with self._lock:
+                    self.coordinator.client_connect(client_id, context_name)
+                conn.contexts.add(context_name)
+            except SimFSError as exc:
+                error, detail = int(exc.code), str(exc)
+        self._clients[client_id] = conn
+        self._send(conn, {"op": "reply", "req": message.get("req"),
+                          "error": error, "detail": detail})
+        return conn
+
+    def _dispatch(self, conn: _ClientConn, message: dict) -> None:
+        op = message.get("op")
+        req = message.get("req")
+        handler = {
+            "open": self._op_open,
+            "acquire": self._op_acquire,
+            "release": self._op_release,
+            "wclose": self._op_wclose,
+            "bitrep": self._op_bitrep,
+            "attach": self._op_attach,
+            "finalize": self._op_finalize,
+        }.get(op)
+        if handler is None:
+            self._send(conn, {"op": "reply", "req": req,
+                              "error": int(ErrorCode.ERR_PROTOCOL),
+                              "detail": f"unknown op {op!r}"})
+            return
+        try:
+            payload = handler(conn, message)
+            payload.setdefault("error", int(ErrorCode.SUCCESS))
+        except SimFSError as exc:
+            payload = {"error": int(exc.code), "detail": str(exc)}
+        payload.update({"op": "reply", "req": req})
+        self._send(conn, payload)
+
+    # -- op handlers ------------------------------------------------------ #
+    def _op_attach(self, conn: _ClientConn, message: dict) -> dict:
+        context = message["context"]
+        with self._lock:
+            self.coordinator.client_connect(conn.client_id, context)
+        conn.contexts.add(context)
+        return {}
+
+    def _op_open(self, conn: _ClientConn, message: dict) -> dict:
+        with self._lock:
+            result = self.coordinator.handle_open(
+                conn.client_id, message["context"], message["file"],
+                self._clock.now(),
+            )
+        return {
+            "available": result.available,
+            "state": result.state.value,
+            "wait": result.estimated_wait,
+        }
+
+    def _op_acquire(self, conn: _ClientConn, message: dict) -> dict:
+        with self._lock:
+            results = self.coordinator.handle_acquire(
+                conn.client_id, message["context"], list(message["files"]),
+                self._clock.now(),
+            )
+        return {
+            "results": [
+                {"file": r.filename, "available": r.available,
+                 "state": r.state.value, "wait": r.estimated_wait}
+                for r in results
+            ]
+        }
+
+    def _op_release(self, conn: _ClientConn, message: dict) -> dict:
+        with self._lock:
+            self.coordinator.handle_release(
+                conn.client_id, message["context"], message["file"],
+                self._clock.now(),
+            )
+        return {}
+
+    def _op_wclose(self, conn: _ClientConn, message: dict) -> dict:
+        with self._lock:
+            self.coordinator.sim_file_closed(
+                message["context"], message["file"], self._clock.now()
+            )
+        return {}
+
+    def _op_bitrep(self, conn: _ClientConn, message: dict) -> dict:
+        context = message["context"]
+        filename = message["file"]
+        path = message.get("path") or self.storage_path(context, filename)
+        with self._lock:
+            matches = self.coordinator.handle_bitrep(context, filename, path)
+        return {"matches": matches}
+
+    def _op_finalize(self, conn: _ClientConn, message: dict) -> dict:
+        context = message["context"]
+        with self._lock:
+            self.coordinator.client_disconnect(
+                conn.client_id, context, self._clock.now()
+            )
+        conn.contexts.discard(context)
+        return {}
+
+    # ------------------------------------------------------------------ #
+    def _drop_client(self, conn: _ClientConn) -> None:
+        self._clients.pop(conn.client_id, None)
+        for context in list(conn.contexts):
+            try:
+                with self._lock:
+                    self.coordinator.client_disconnect(
+                        conn.client_id, context, self._clock.now()
+                    )
+            except SimFSError:
+                pass
+
+    def _push_ready(self, notification: Notification) -> None:
+        conn = self._clients.get(notification.client_id)
+        if conn is None:
+            return
+        try:
+            self._send(
+                conn,
+                {
+                    "op": "ready",
+                    "context": notification.context_name,
+                    "file": notification.filename,
+                    "ok": notification.ok,
+                },
+            )
+        except OSError:
+            pass
+
+    def _send(self, conn: _ClientConn, message: dict) -> None:
+        with conn.send_lock:
+            send_message(conn.sock, message)
+
+
+# --------------------------------------------------------------------- #
+# CLI entry point: `simfs-dv --config dv.json`
+# --------------------------------------------------------------------- #
+def main(argv: list[str] | None = None) -> int:
+    """Run a DV daemon from a JSON configuration file.
+
+    Config schema::
+
+        {"host": "127.0.0.1", "port": 7878,
+         "contexts": [
+           {"name": "cosmo", "simulator": "cosmo",
+            "delta_d": 5, "delta_r": 60, "num_timesteps": 5760,
+            "output_dir": "...", "restart_dir": "...",
+            "max_storage_bytes": 100000000, "policy": "dcl", "smax": 8}]}
+    """
+    from repro.core.context import ContextConfig
+    from repro.core.perfmodel import PerformanceModel
+    from repro.simulators import CosmoDriver, FlashDriver, SyntheticDriver
+
+    parser = argparse.ArgumentParser(prog="simfs-dv", description=main.__doc__)
+    parser.add_argument("--config", required=True, help="JSON config path")
+    args = parser.parse_args(argv)
+    with open(args.config, encoding="utf-8") as fh:
+        config = json.load(fh)
+
+    server = DVServer(config.get("host", "127.0.0.1"), config.get("port", 7878))
+    drivers = {"cosmo": CosmoDriver, "flash": FlashDriver, "synthetic": SyntheticDriver}
+    for spec in config.get("contexts", []):
+        cc = ContextConfig(
+            name=spec["name"],
+            delta_d=spec["delta_d"],
+            delta_r=spec["delta_r"],
+            num_timesteps=spec.get("num_timesteps"),
+            max_storage_bytes=spec.get("max_storage_bytes"),
+            replacement_policy=spec.get("policy", "dcl"),
+            smax=spec.get("smax", 8),
+        )
+        driver_cls = drivers[spec.get("simulator", "synthetic")]
+        driver = driver_cls(cc.geometry, prefix=spec["name"])
+        perf = PerformanceModel(
+            tau_sim=spec.get("tau_sim", 1.0), alpha_sim=spec.get("alpha_sim", 0.0)
+        )
+        context = SimulationContext(config=cc, driver=driver, perf=perf)
+        server.add_context(context, spec["output_dir"], spec["restart_dir"])
+    server.start()
+    host, port = server.address
+    print(f"simfs-dv listening on {host}:{port}")
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        server.stop()
+    return 0

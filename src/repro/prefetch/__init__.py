@@ -1,0 +1,36 @@
+"""Prefetching: access-pattern detection, the Sec. IV closed-form planner,
+and the per-analysis prefetch agents."""
+
+from repro.prefetch.agent import PrefetchAction, PrefetchAgent, PrefetchDecision
+from repro.prefetch.pattern import Direction, PatternDetector, PatternState
+from repro.prefetch.planner import (
+    backward_parallel_sims,
+    backward_resim_length,
+    backward_warmup_time,
+    forward_analysis_time,
+    forward_prefetch_step,
+    forward_resim_length,
+    forward_warmup_time,
+    lower_bound_time,
+    s_opt_forward,
+    single_simulation_time,
+)
+
+__all__ = [
+    "Direction",
+    "PatternDetector",
+    "PatternState",
+    "PrefetchAction",
+    "PrefetchAgent",
+    "PrefetchDecision",
+    "backward_parallel_sims",
+    "backward_resim_length",
+    "backward_warmup_time",
+    "forward_analysis_time",
+    "forward_prefetch_step",
+    "forward_resim_length",
+    "forward_warmup_time",
+    "lower_bound_time",
+    "s_opt_forward",
+    "single_simulation_time",
+]

@@ -1,0 +1,203 @@
+"""Closed-form prefetching quantities (paper Sec. IV-B and IV-C).
+
+All formulas below are the paper's, implemented as pure functions so both
+the live prefetch agents and the analytic overlays of Figs. 17/19 share
+them:
+
+* forward re-simulation length
+  ``n >= ceil(αsim / max(k·τsim, τcli) + 2) · k`` rounded up to a whole
+  number of restart intervals;
+* the *prefetching step* ``d_i + n − ceil(αsim / max(k·τsim, τcli)) · k``;
+* optimal forward simulation parallelism ``s_opt = ceil(k·τsim / τcli)``;
+* backward re-simulation length ``n = k·αsim / (τcli − k·τsim)`` (analysis
+  slower than simulation) and the backward parallel-simulation count
+  ``s = k·αsim/(n·τcli) + k·τsim/τcli``;
+* warm-up times ``T_pre`` for both directions, plus the reference times
+  ``T_single`` and ``T_lower`` plotted in Figs. 17/19.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import InvalidArgumentError
+from repro.core.steps import StepGeometry
+
+__all__ = [
+    "forward_resim_length",
+    "forward_prefetch_step",
+    "s_opt_forward",
+    "backward_resim_length",
+    "backward_parallel_sims",
+    "forward_warmup_time",
+    "backward_warmup_time",
+    "forward_analysis_time",
+    "single_simulation_time",
+    "lower_bound_time",
+]
+
+
+def _check_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise InvalidArgumentError(f"{name} must be > 0, got {value}")
+
+
+def _per_step_time(tau_sim: float, tau_cli: float, k: int) -> float:
+    """Analysis processing time per accessed output step:
+    ``max(k·τsim, τcli)`` — bounded by whichever side is slower."""
+    return max(k * tau_sim, tau_cli)
+
+
+def forward_resim_length(
+    alpha_sim: float,
+    tau_sim: float,
+    tau_cli: float,
+    k: int,
+    geometry: StepGeometry,
+) -> int:
+    """Re-simulation length ``n`` masking the next restart latency
+    (Sec. IV-B1a), rounded up to a whole number of restart intervals."""
+    _check_positive(tau_sim=tau_sim, tau_cli=tau_cli, k=k)
+    if alpha_sim < 0:
+        raise InvalidArgumentError(f"alpha_sim must be >= 0, got {alpha_sim}")
+    per_step = _per_step_time(tau_sim, tau_cli, k)
+    n_min = math.ceil(alpha_sim / per_step + 2) * k
+    return geometry.round_up_to_restart_outputs(n_min)
+
+
+def forward_prefetch_step(
+    base_step: int,
+    n: int,
+    alpha_sim: float,
+    tau_sim: float,
+    tau_cli: float,
+    k: int,
+) -> int:
+    """Output step at which to launch the next re-simulation so that its
+    restart latency is fully masked: ``d_i + n − ceil(αsim/max(...))·k``."""
+    _check_positive(n=n, tau_sim=tau_sim, tau_cli=tau_cli, k=k)
+    per_step = _per_step_time(tau_sim, tau_cli, k)
+    lead = math.ceil(alpha_sim / per_step) * k
+    return base_step + n - lead
+
+
+def s_opt_forward(tau_sim: float, tau_cli: float, k: int) -> int:
+    """Parallel re-simulations matching a forward analysis' bandwidth:
+    ``s_opt = ceil(k·τsim / τcli)`` (Sec. IV-B1b)."""
+    _check_positive(tau_sim=tau_sim, tau_cli=tau_cli, k=k)
+    return math.ceil(k * tau_sim / tau_cli)
+
+
+def backward_resim_length(
+    alpha_sim: float,
+    tau_sim: float,
+    tau_cli: float,
+    k: int,
+    geometry: StepGeometry,
+) -> int:
+    """Backward re-simulation length hiding restart latency *and*
+    re-simulation time when the analysis is slower than the simulation:
+    ``n = k·αsim / (τcli − k·τsim)`` rounded up to the next restart step
+    (Sec. IV-B2).  Requires ``τcli/k > τsim``."""
+    _check_positive(tau_sim=tau_sim, tau_cli=tau_cli, k=k)
+    if tau_cli <= k * tau_sim:
+        raise InvalidArgumentError(
+            "backward_resim_length requires the analysis to be slower than "
+            f"the simulation (tau_cli={tau_cli} <= k*tau_sim={k * tau_sim}); "
+            "use backward_parallel_sims instead"
+        )
+    if alpha_sim == 0:
+        n_min = 1
+    else:
+        n_min = math.ceil(k * alpha_sim / (tau_cli - k * tau_sim))
+    return geometry.round_up_to_restart_outputs(max(1, n_min))
+
+
+def backward_parallel_sims(
+    alpha_sim: float,
+    tau_sim: float,
+    tau_cli: float,
+    k: int,
+    n: int,
+) -> int:
+    """Minimum parallel re-simulations matching a backward analysis that is
+    *faster* than the simulation:
+    ``s = k·αsim/(n·τcli) + k·τsim/τcli`` (Sec. IV-B2)."""
+    _check_positive(tau_sim=tau_sim, tau_cli=tau_cli, k=k, n=n)
+    s = k * alpha_sim / (n * tau_cli) + k * tau_sim / tau_cli
+    return max(1, math.ceil(s))
+
+
+# --------------------------------------------------------------------- #
+# Warm-up and reference times (Sec. IV-C1, plotted in Figs. 17 and 19)
+# --------------------------------------------------------------------- #
+def forward_warmup_time(
+    alpha_sim: float,
+    tau_sim: float,
+    n: int,
+    geometry: StepGeometry,
+) -> float:
+    """``T_pre^fw = αsim + max(2τsim + αsim, (Δr/Δd)·τsim) + n·τsim``."""
+    _check_positive(tau_sim=tau_sim, n=n)
+    interval_outputs = geometry.outputs_per_restart_interval
+    return (
+        alpha_sim
+        + max(2 * tau_sim + alpha_sim, interval_outputs * tau_sim)
+        + n * tau_sim
+    )
+
+
+def backward_warmup_time(
+    alpha_sim: float,
+    tau_sim: float,
+    tau_cli: float,
+    n: int,
+    first_miss_distance: int,
+) -> float:
+    """``T_pre^bw = αsim + D_i·τsim + τcli + max(τcli·(D_i−1), αsim + n·τsim)``
+    where ``D_i = d_i − R(d_i)`` is the distance of the first missed step
+    from its restart (in output steps)."""
+    _check_positive(tau_sim=tau_sim, tau_cli=tau_cli, n=n)
+    if first_miss_distance < 1:
+        raise InvalidArgumentError(
+            f"first_miss_distance must be >= 1, got {first_miss_distance}"
+        )
+    d = first_miss_distance
+    return (
+        alpha_sim
+        + d * tau_sim
+        + tau_cli
+        + max(tau_cli * (d - 1), alpha_sim + n * tau_sim)
+    )
+
+
+def forward_analysis_time(
+    alpha_sim: float,
+    tau_sim: float,
+    n: int,
+    m: int,
+    s: int,
+    geometry: StepGeometry,
+) -> float:
+    """``T_cli^fw ≈ T_pre + (m − n)·τsim/s`` for an analysis of ``m`` steps
+    (Sec. IV-C1a); for ``m <= n`` the warm-up dominates entirely."""
+    _check_positive(tau_sim=tau_sim, n=n, m=m, s=s)
+    warmup = forward_warmup_time(alpha_sim, tau_sim, n, geometry)
+    if m <= n:
+        return warmup
+    return warmup + (m - n) * tau_sim / s
+
+
+def single_simulation_time(alpha_sim: float, tau_sim: float, m: int) -> float:
+    """``T_single = αsim + m·τsim`` — one simulation serving every access
+    (the in-situ-like bound of Figs. 17/19)."""
+    _check_positive(tau_sim=tau_sim, m=m)
+    return alpha_sim + m * tau_sim
+
+
+def lower_bound_time(alpha_sim: float, tau_sim: float, m: int, smax: int) -> float:
+    """``T_lower = αsim + m·τsim/smax`` — restart latency plus perfectly
+    parallel production over ``smax`` simulations."""
+    _check_positive(tau_sim=tau_sim, m=m, smax=smax)
+    return alpha_sim + m * tau_sim / smax

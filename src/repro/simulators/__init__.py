@@ -1,0 +1,43 @@
+"""Simulator substrates: driver interface, deterministic run loop, and the
+three concrete simulators (synthetic, COSMO-like, FLASH-like)."""
+
+from repro.simulators.base import ForwardSimulator, run_simulation
+from repro.simulators.cosmo import (
+    COSMO_EVAL_CONFIG,
+    COSMO_EVAL_PERF,
+    CosmoDriver,
+    CosmoSimulator,
+)
+from repro.simulators.driver import (
+    FilePatternNaming,
+    SimulationDriver,
+    SimulationJobSpec,
+)
+from repro.simulators.flash import (
+    FLASH_EVAL_CONFIG,
+    FLASH_EVAL_PERF,
+    FlashDriver,
+    FlashSimulator,
+)
+from repro.simulators.pipeline import ArchiveCopyDriver, PipelineDriver
+from repro.simulators.synthetic import SyntheticDriver, SyntheticSimulator
+
+__all__ = [
+    "ArchiveCopyDriver",
+    "COSMO_EVAL_CONFIG",
+    "COSMO_EVAL_PERF",
+    "CosmoDriver",
+    "CosmoSimulator",
+    "FLASH_EVAL_CONFIG",
+    "FLASH_EVAL_PERF",
+    "FilePatternNaming",
+    "FlashDriver",
+    "FlashSimulator",
+    "ForwardSimulator",
+    "PipelineDriver",
+    "SimulationDriver",
+    "SimulationJobSpec",
+    "SyntheticDriver",
+    "SyntheticSimulator",
+    "run_simulation",
+]

@@ -1,0 +1,175 @@
+"""Simulation driver interface (paper Sec. III-B).
+
+The original SimFS configures each simulator through a LUA *simulation
+driver* providing (1) the file **naming convention** — a ``key`` function
+mapping output file names to monotone integers — and (2) the **simulation
+job** factory — given start/stop output-step keys and a parallelism level,
+produce something the DV can execute, honouring simulator-specific resource
+constraints (e.g. "square process counts only").
+
+Here drivers are Python objects.  :class:`FilePatternNaming` implements the
+common zero-padded numbering convention; :class:`SimulationJobSpec` is the
+executable job description consumed by the launcher (real mode) or by the
+DES (virtual-time mode).
+"""
+
+from __future__ import annotations
+
+import abc
+import re
+from dataclasses import dataclass
+
+from repro.core.errors import FileNotInContextError, InvalidArgumentError
+from repro.util.checksums import file_checksum
+
+__all__ = ["FilePatternNaming", "SimulationDriver", "SimulationJobSpec"]
+
+
+@dataclass(frozen=True)
+class SimulationJobSpec:
+    """Everything the DV needs to start one (re-)simulation.
+
+    ``start_restart``/``stop_restart`` delimit the job: it loads checkpoint
+    ``r_start`` and runs forward to ``r_stop``, producing the output steps
+    in the exclusive window ``(start*Δr, stop*Δr]``.
+    """
+
+    context_name: str
+    start_restart: int
+    stop_restart: int
+    parallelism_level: int = 0
+    write_restarts: bool = False
+
+    def __post_init__(self) -> None:
+        if self.start_restart < 0:
+            raise InvalidArgumentError(
+                f"start_restart must be >= 0, got {self.start_restart}"
+            )
+        if self.stop_restart <= self.start_restart:
+            raise InvalidArgumentError(
+                f"stop_restart ({self.stop_restart}) must be > "
+                f"start_restart ({self.start_restart})"
+            )
+
+    @property
+    def num_intervals(self) -> int:
+        return self.stop_restart - self.start_restart
+
+
+class FilePatternNaming:
+    """Zero-padded numeric naming convention.
+
+    Output steps are named ``{prefix}_out_{key:0{width}d}.sdf`` and restart
+    steps ``{prefix}_restart_{index:0{width}d}.sdf``; zero padding makes the
+    lexicographic order match the key order, as real simulators commonly do.
+    """
+
+    def __init__(self, prefix: str, width: int = 8) -> None:
+        if not prefix or "/" in prefix:
+            raise InvalidArgumentError(f"bad naming prefix {prefix!r}")
+        if width < 1:
+            raise InvalidArgumentError(f"width must be >= 1, got {width}")
+        self.prefix = prefix
+        self.width = width
+        self._out_re = re.compile(
+            rf"^{re.escape(prefix)}_out_(\d{{{width}}})\.sdf$"
+        )
+        self._restart_re = re.compile(
+            rf"^{re.escape(prefix)}_restart_(\d{{{width}}})\.sdf$"
+        )
+
+    def filename(self, key: int) -> str:
+        if key < 1:
+            raise InvalidArgumentError(f"output key must be >= 1, got {key}")
+        return f"{self.prefix}_out_{key:0{self.width}d}.sdf"
+
+    def key(self, filename: str) -> int:
+        match = self._out_re.match(filename)
+        if match is None:
+            raise FileNotInContextError(
+                f"{filename!r} does not match the {self.prefix!r} output naming"
+            )
+        return int(match.group(1))
+
+    def restart_filename(self, index: int) -> str:
+        if index < 0:
+            raise InvalidArgumentError(f"restart index must be >= 0, got {index}")
+        return f"{self.prefix}_restart_{index:0{self.width}d}.sdf"
+
+    def restart_index(self, filename: str) -> int:
+        match = self._restart_re.match(filename)
+        if match is None:
+            raise FileNotInContextError(
+                f"{filename!r} does not match the {self.prefix!r} restart naming"
+            )
+        return int(match.group(1))
+
+    def is_output(self, filename: str) -> bool:
+        return self._out_re.match(filename) is not None
+
+    def is_restart(self, filename: str) -> bool:
+        return self._restart_re.match(filename) is not None
+
+
+class SimulationDriver(abc.ABC):
+    """Simulator-specific functionality the DV depends on (Sec. III-B)."""
+
+    def __init__(self, naming: FilePatternNaming, max_parallelism_level: int = 0) -> None:
+        self.naming = naming
+        if max_parallelism_level < 0:
+            raise InvalidArgumentError(
+                f"max_parallelism_level must be >= 0, got {max_parallelism_level}"
+            )
+        self.max_parallelism_level = max_parallelism_level
+
+    # -- naming convention ---------------------------------------------- #
+    def key(self, filename: str) -> int:
+        """Monotone integer key of an output file name."""
+        return self.naming.key(filename)
+
+    def filename(self, key: int) -> str:
+        return self.naming.filename(key)
+
+    def restart_filename(self, index: int) -> str:
+        return self.naming.restart_filename(index)
+
+    # -- simulation job -------------------------------------------------- #
+    def make_job(
+        self,
+        context_name: str,
+        start_restart: int,
+        stop_restart: int,
+        parallelism_level: int = 0,
+        write_restarts: bool = False,
+    ) -> SimulationJobSpec:
+        """Build a job spec, clamping the parallelism level to the driver's
+        maximum (the driver, not the DV, owns resource constraints)."""
+        level = max(0, min(parallelism_level, self.max_parallelism_level))
+        return SimulationJobSpec(
+            context_name=context_name,
+            start_restart=start_restart,
+            stop_restart=stop_restart,
+            parallelism_level=level,
+            write_restarts=write_restarts,
+        )
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        job: SimulationJobSpec,
+        output_dir: str,
+        restart_dir: str,
+        on_output=None,
+        stop=None,
+    ) -> list[str]:
+        """Run the job synchronously (real mode); returns produced output
+        file names in production order.  The launcher wraps this in a
+        worker thread or subprocess.  ``on_output(filename)`` fires after
+        each output file is written; ``stop()`` is polled each timestep
+        for cooperative cancellation."""
+
+    # -- checksums (``SIMFS_Bitrep`` support) ---------------------------- #
+    def checksum(self, path: str) -> str:
+        """Checksum used for bit-reproducibility checks; whole-file SHA-256
+        by default, overridable per simulator."""
+        return file_checksum(path)

@@ -1,0 +1,30 @@
+"""Access-trace generation (forward/backward/random, ECMWF-like) and cache
+replay for the Fig. 5 and cost-model experiments."""
+
+from repro.traces.ecmwf import ECMWF_ACCESSES, ECMWF_FILES, ecmwf_like_trace
+from repro.traces.patterns import (
+    PATTERNS,
+    TraceSpec,
+    backward_trace,
+    concatenated_trace,
+    forward_trace,
+    random_trace,
+)
+from repro.traces.replay import ReplayResult, replay_trace
+from repro.traces.workload import AnalysisRun, ForwardWorkload
+
+__all__ = [
+    "AnalysisRun",
+    "ECMWF_ACCESSES",
+    "ECMWF_FILES",
+    "ForwardWorkload",
+    "PATTERNS",
+    "ReplayResult",
+    "TraceSpec",
+    "backward_trace",
+    "concatenated_trace",
+    "ecmwf_like_trace",
+    "forward_trace",
+    "random_trace",
+    "replay_trace",
+]

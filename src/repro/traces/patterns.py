@@ -1,0 +1,94 @@
+"""Synthetic analysis access traces (paper Sec. III-D, *Caching Schemes
+Evaluation*).
+
+The paper generates, per access pattern, 50 traces that each start at a
+random point of the simulation timeline and access a random number of
+output steps (100-400), then concatenates them into a single trace replayed
+by a synthetic analysis tool:
+
+* **forward** — ascending consecutive output steps;
+* **backward** — descending consecutive output steps;
+* **random** — uniformly random steps.
+
+All generators take an explicit seed; traces are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import InvalidArgumentError
+
+__all__ = ["TraceSpec", "forward_trace", "backward_trace", "random_trace",
+           "concatenated_trace", "PATTERNS"]
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Parameters of the paper's trace generation recipe."""
+
+    num_output_steps: int          #: timeline length (e.g. 1152 for 4 days)
+    num_traces: int = 50           #: single traces to concatenate
+    min_len: int = 100
+    max_len: int = 400
+
+    def __post_init__(self) -> None:
+        if self.num_output_steps < 1:
+            raise InvalidArgumentError("num_output_steps must be >= 1")
+        if not 1 <= self.min_len <= self.max_len:
+            raise InvalidArgumentError(
+                f"bad trace length range [{self.min_len}, {self.max_len}]"
+            )
+        if self.num_traces < 1:
+            raise InvalidArgumentError("num_traces must be >= 1")
+
+
+def forward_trace(start: int, length: int, num_steps: int) -> list[int]:
+    """Ascending trajectory from ``start``, clamped to the timeline."""
+    _check(start, num_steps)
+    stop = min(start + length, num_steps + 1)
+    return list(range(start, stop))
+
+
+def backward_trace(start: int, length: int, num_steps: int) -> list[int]:
+    """Descending trajectory from ``start`` down to at most step 1."""
+    _check(start, num_steps)
+    stop = max(start - length, 0)
+    return list(range(start, stop, -1))
+
+
+def random_trace(rng: random.Random, length: int, num_steps: int) -> list[int]:
+    """Uniformly random output steps."""
+    return [rng.randint(1, num_steps) for _ in range(length)]
+
+
+def concatenated_trace(pattern: str, spec: TraceSpec, seed: int) -> list[int]:
+    """The paper's recipe: ``num_traces`` single traces, each starting at a
+    random point and accessing a random number of steps, concatenated."""
+    rng = random.Random(seed)
+    out: list[int] = []
+    for _ in range(spec.num_traces):
+        length = rng.randint(spec.min_len, spec.max_len)
+        start = rng.randint(1, spec.num_output_steps)
+        if pattern == "forward":
+            out += forward_trace(start, length, spec.num_output_steps)
+        elif pattern == "backward":
+            out += backward_trace(start, length, spec.num_output_steps)
+        elif pattern == "random":
+            out += random_trace(rng, length, spec.num_output_steps)
+        else:
+            raise InvalidArgumentError(
+                f"unknown pattern {pattern!r}; expected forward/backward/random"
+            )
+    return out
+
+
+PATTERNS = ("forward", "backward", "random")
+
+
+def _check(start: int, num_steps: int) -> None:
+    if not 1 <= start <= num_steps:
+        raise InvalidArgumentError(
+            f"trace start {start} outside timeline [1, {num_steps}]"
+        )

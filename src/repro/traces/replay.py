@@ -1,0 +1,137 @@
+"""Trace replay through the SimFS cache model (Fig. 5's measurement loop).
+
+Replays an access trace against a bounded storage area without timing.  A
+miss on ``d_i`` restarts the simulation from the closest previous
+checkpoint and produces the output steps up to ``d_i`` (its *miss cost*,
+Sec. III-D), all of which enter the cache; if the next miss falls later in
+the same window the running simulation continues (one restart serves it),
+and when the analysis jumps elsewhere the simulation is killed (Sec. IV-C)
+so the unproduced tail costs nothing.  The replay counts what Fig. 5
+reports — **simulated output steps** (bars) and **restarts** (black dots)
+— plus hit/eviction statistics, and is also how the cost models obtain the
+re-simulation volume ``V(γ)`` (Sec. V).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.cache.manager import StorageArea
+from repro.core.steps import StepGeometry
+
+__all__ = ["ReplayResult", "replay_trace"]
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Counters from one trace replay."""
+
+    accesses: int
+    hits: int
+    misses: int
+    restarts: int                #: re-simulations launched
+    simulated_outputs: int       #: output steps produced by re-simulations
+    evictions: int
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+def replay_trace(
+    trace: Iterable[int],
+    geometry: StepGeometry,
+    policy: str,
+    cache_fraction: float | None = None,
+    capacity_entries: int | None = None,
+    warm: Iterable[int] = (),
+    max_parallel_sims: int = 8,
+) -> ReplayResult:
+    """Replay ``trace`` and return the Fig. 5 counters.
+
+    Parameters
+    ----------
+    policy:
+        Replacement scheme name (``lru``/``lirs``/``arc``/``bcl``/``dcl``).
+    cache_fraction:
+        Cache size as a fraction of the total data volume (the paper uses
+        25 %); mutually exclusive with ``capacity_entries``.
+    warm:
+        Output steps resident before the replay starts (e.g. what a
+        previous workload left behind).
+    max_parallel_sims:
+        How many re-simulations may be alive at once (the context's
+        ``smax``); interleaved analyses share production through them.
+    """
+    if (cache_fraction is None) == (capacity_entries is None):
+        raise ValueError("pass exactly one of cache_fraction/capacity_entries")
+    if capacity_entries is None:
+        total = geometry.num_output_steps
+        capacity_entries = max(1, int(total * cache_fraction))
+
+    area = StorageArea(policy, capacity_bytes=capacity_entries, entry_bytes=1)
+    for key in warm:
+        area.insert(key, cost=float(geometry.miss_cost(key)))
+
+    restarts = 0
+    simulated = 0
+    hits = 0
+    misses = 0
+    accesses = 0
+    # Active re-simulations: window -> highest output produced so far.  A
+    # miss later in an active window continues that simulation (no new
+    # restart); up to ``max_parallel_sims`` windows stay alive so
+    # interleaved analyses share production, and the least recently
+    # continued one is killed beyond that (Sec. IV-C) — its unproduced
+    # tail costs nothing.
+    active: OrderedDict[tuple[int, int], int] = OrderedDict()
+    for key in trace:
+        accesses += 1
+        if area.access(key):
+            hits += 1
+            continue
+        misses += 1
+        key_ts = key * geometry.delta_d
+        window = next(
+            (
+                w
+                for w, upto in active.items()
+                if w[0] * geometry.delta_r < key_ts <= w[1] * geometry.delta_r
+                and key > upto
+            ),
+            None,
+        )
+        if window is not None:
+            # A running simulation will produce this step: continue it.
+            first = active[window] + 1
+            active[window] = key
+            active.move_to_end(window)
+        else:
+            # New restart from the closest previous checkpoint.
+            restarts += 1
+            window = geometry.resim_job_extent(key)
+            first = window[0] * geometry.delta_r // geometry.delta_d + 1
+            active[window] = key
+            active.move_to_end(window)
+            while len(active) > max_parallel_sims:
+                active.popitem(last=False)
+        produced = range(first, key + 1)
+        simulated += len(produced)
+        # The missed step is pinned through its own insertion wave so cache
+        # pressure from sibling outputs cannot evict it before it is read.
+        area.insert(key, cost=float(geometry.miss_cost(key)), pinned=True)
+        for out in produced:
+            if out != key and out not in area:
+                area.insert(out, cost=float(geometry.miss_cost(out)))
+        area.unpin(key)
+        area.evict_until_fits()
+    return ReplayResult(
+        accesses=accesses,
+        hits=hits,
+        misses=misses,
+        restarts=restarts,
+        simulated_outputs=simulated,
+        evictions=len(area.evictions),
+    )

@@ -1,0 +1,14 @@
+"""Shared utilities: EMA estimation, checksums, clock abstraction."""
+
+from repro.util.checksums import bytes_checksum, file_checksum
+from repro.util.clock import Clock, ManualClock, WallClock
+from repro.util.ema import ExponentialMovingAverage
+
+__all__ = [
+    "Clock",
+    "ExponentialMovingAverage",
+    "ManualClock",
+    "WallClock",
+    "bytes_checksum",
+    "file_checksum",
+]

@@ -1,0 +1,32 @@
+"""File checksum helpers backing ``SIMFS_Bitrep`` (paper Sec. III-C2).
+
+The way the checksum is computed is simulator-specific in SimFS (a driver
+function); these helpers provide the default whole-file digest drivers can
+use or replace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+__all__ = ["file_checksum", "bytes_checksum"]
+
+_CHUNK = 1 << 20
+
+
+def bytes_checksum(data: bytes) -> str:
+    """Hex SHA-256 of an in-memory blob."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def file_checksum(path: str | os.PathLike[str]) -> str:
+    """Hex SHA-256 of a file, streamed in 1 MiB chunks."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()

@@ -1,0 +1,56 @@
+"""Exponential moving average used to estimate restart latencies.
+
+Paper Sec. IV-C1c: with non-constant restart latencies (e.g. variable batch
+queueing times) SimFS tracks the latency with an exponential moving average
+"so to consider only the most recent observation"; the smoothing factor is a
+simulation-context parameter.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import InvalidArgumentError
+
+__all__ = ["ExponentialMovingAverage"]
+
+
+class ExponentialMovingAverage:
+    """EMA with smoothing factor ``alpha`` in (0, 1].
+
+    ``value = alpha * sample + (1 - alpha) * value``; before the first
+    observation the estimate falls back to ``initial`` (which defaults to
+    0.0 — an optimistic estimate that under-prefetches rather than spawning
+    simulations for latencies never observed).
+    """
+
+    def __init__(self, smoothing: float, initial: float = 0.0) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise InvalidArgumentError(
+                f"smoothing factor must be in (0, 1], got {smoothing}"
+            )
+        self._alpha = smoothing
+        self._value = float(initial)
+        self._count = 0
+
+    @property
+    def value(self) -> float:
+        """Current estimate."""
+        return self._value
+
+    @property
+    def count(self) -> int:
+        """Number of observations folded in so far."""
+        return self._count
+
+    def observe(self, sample: float) -> float:
+        """Fold in a new sample and return the updated estimate."""
+        if self._count == 0:
+            self._value = float(sample)
+        else:
+            self._value = self._alpha * sample + (1.0 - self._alpha) * self._value
+        self._count += 1
+        return self._value
+
+    def reset(self, initial: float = 0.0) -> None:
+        """Forget all observations."""
+        self._value = float(initial)
+        self._count = 0

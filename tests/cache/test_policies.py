@@ -1,0 +1,257 @@
+"""Unit tests for the five replacement policies (LRU, LIRS, ARC, BCL, DCL)."""
+
+import pytest
+
+from repro.cache import (
+    ARCPolicy,
+    BCLPolicy,
+    DCLPolicy,
+    LIRSPolicy,
+    LRUPolicy,
+    make_policy,
+)
+from repro.core.errors import InvalidArgumentError
+
+ALL_POLICIES = [LRUPolicy, LIRSPolicy, ARCPolicy, BCLPolicy, DCLPolicy]
+
+
+def everything_evictable(_key):
+    return True
+
+
+@pytest.mark.parametrize("cls", ALL_POLICIES)
+class TestCommonBehaviour:
+    def test_name_registered(self, cls):
+        policy = make_policy(cls.name, 8)
+        assert isinstance(policy, cls)
+
+    def test_miss_then_insert_then_hit(self, cls):
+        p = cls(8)
+        assert p.record_access(1) is False
+        p.record_insert(1)
+        assert p.is_resident(1)
+        assert p.record_access(1) is True
+        assert p.stats.hits == 1
+        assert p.stats.misses == 1
+
+    def test_evict_removes_residency(self, cls):
+        p = cls(8)
+        p.record_insert(5)
+        p.record_evict(5)
+        assert not p.is_resident(5)
+        assert p.record_access(5) is False
+
+    def test_victim_only_from_resident(self, cls):
+        p = cls(4)
+        for k in range(1, 5):
+            p.record_access(k)
+            p.record_insert(k)
+        victim = p.victim(everything_evictable)
+        assert victim is not None
+        assert p.is_resident(victim)
+
+    def test_victim_respects_pinning(self, cls):
+        p = cls(4)
+        for k in range(1, 5):
+            p.record_access(k)
+            p.record_insert(k)
+        pinned = {1, 2, 3}
+        victim = p.victim(lambda k: k not in pinned)
+        assert victim == 4
+
+    def test_victim_none_when_all_pinned(self, cls):
+        p = cls(4)
+        for k in range(1, 5):
+            p.record_insert(k)
+        assert p.victim(lambda _k: False) is None
+
+    def test_insert_idempotent(self, cls):
+        p = cls(4)
+        p.record_insert(1)
+        p.record_insert(1)
+        assert p.is_resident(1)
+        assert sum(1 for k in p.resident() if k == 1) == 1
+
+    def test_capacity_validation(self, cls):
+        with pytest.raises(InvalidArgumentError):
+            cls(0)
+
+
+class TestLRUOrdering:
+    def test_least_recent_is_victim(self):
+        p = LRUPolicy(4)
+        for k in (1, 2, 3):
+            p.record_access(k)
+            p.record_insert(k)
+        p.record_access(1)  # now 2 is least recent
+        assert p.victim(everything_evictable) == 2
+
+    def test_access_refreshes_recency(self):
+        p = LRUPolicy(4)
+        for k in (1, 2, 3):
+            p.record_insert(k)
+        p.record_access(1)
+        p.record_access(2)
+        assert p.victim(everything_evictable) == 3
+
+
+class TestARC:
+    def test_second_access_promotes_to_t2(self):
+        p = ARCPolicy(4)
+        p.record_insert(1)
+        p.record_access(1)
+        sizes = p.list_sizes()
+        assert sizes["t2"] == 1 and sizes["t1"] == 0
+
+    def test_ghost_hit_in_b1_grows_p(self):
+        p = ARCPolicy(2)
+        p.record_insert(1)
+        p.record_evict(1)  # 1 -> B1
+        assert p.list_sizes()["b1"] == 1
+        before = p.p
+        p.record_access(1)  # ghost hit
+        assert p.p > before
+
+    def test_ghost_hit_reinserts_into_t2(self):
+        p = ARCPolicy(2)
+        p.record_insert(1)
+        p.record_evict(1)
+        p.record_access(1)
+        p.record_insert(1)
+        assert p.list_sizes()["t2"] == 1
+
+    def test_b2_ghost_hit_shrinks_p(self):
+        p = ARCPolicy(2)
+        p.record_insert(1)
+        p.record_access(1)  # promote to t2
+        p.record_evict(1)   # -> B2
+        p.record_access(2)  # raise p via nothing; first ensure p > 0
+        p.record_insert(2)
+        p.record_evict(2)   # 2 -> B1
+        p.record_access(2)  # B1 ghost hit: p up
+        p_high = p.p
+        p.record_access(1)  # B2 ghost hit: p down
+        assert p.p < p_high
+
+    def test_ghost_lists_bounded(self):
+        p = ARCPolicy(4)
+        for k in range(100):
+            p.record_access(k)
+            p.record_insert(k)
+            if k >= 4:
+                victim = p.victim(everything_evictable)
+                p.record_evict(victim)
+        sizes = p.list_sizes()
+        assert sizes["t1"] + sizes["b1"] <= 4
+        assert sum(sizes.values()) <= 8
+
+    def test_recency_pressure_prefers_t1_victim(self):
+        p = ARCPolicy(4)
+        for k in (1, 2):
+            p.record_insert(k)
+            p.record_access(k)  # both in T2
+        p.record_insert(3)
+        p.record_insert(4)  # T1 = {3, 4}, p = 0 -> |T1| > p
+        assert p.victim(everything_evictable) == 3
+
+
+class TestLIRS:
+    def test_hot_entries_become_lir(self):
+        p = LIRSPolicy(10)
+        p.record_access(1)
+        p.record_insert(1)
+        p.record_access(1)
+        assert p.is_lir(1)
+
+    def test_victim_prefers_resident_hir(self):
+        p = LIRSPolicy(4)
+        # 1, 2 hot (LIR); 3, 4 cold (HIR, inserted without stack history)
+        for k in (1, 2):
+            p.record_access(k)
+            p.record_insert(k)
+            p.record_access(k)
+        for k in (3, 4):
+            p.record_insert(k)
+        victim = p.victim(everything_evictable)
+        assert victim in (3, 4)
+        assert not p.is_lir(victim)
+
+    def test_ghost_reaccess_promotes(self):
+        p = LIRSPolicy(4)
+        for k in (1, 2):
+            p.record_access(k)
+            p.record_insert(k)
+            p.record_access(k)
+        p.record_access(3)   # miss leaves ghost trace in the stack
+        p.record_insert(3)   # resident HIR
+        p.record_evict(3)    # evicted, ghost retained
+        p.record_access(3)   # re-miss: small reuse distance
+        p.record_insert(3)   # promoted to LIR on re-insert
+        assert p.is_lir(3)
+
+    def test_ghost_stack_bounded(self):
+        p = LIRSPolicy(4)
+        for k in range(500):
+            p.record_access(k)
+        assert len(p._stack) <= 2 * 4 + 16
+
+
+class TestBCL:
+    def test_cheaper_recent_entry_evicted_before_costly_lru(self):
+        p = BCLPolicy(4)
+        p.record_insert(1, cost=10.0)  # LRU, costly
+        p.record_insert(2, cost=1.0)   # more recent, cheap
+        assert p.victim(everything_evictable) == 2
+
+    def test_lru_evicted_when_cheapest(self):
+        p = BCLPolicy(4)
+        p.record_insert(1, cost=1.0)
+        p.record_insert(2, cost=5.0)
+        assert p.victim(everything_evictable) == 1
+
+    def test_depreciation_is_immediate(self):
+        p = BCLPolicy(4)
+        p.record_insert(1, cost=3.0)
+        p.record_insert(2, cost=2.0)
+        assert p.victim(everything_evictable) == 2  # spares LRU, depreciates
+        assert p.depreciated_cost(1) == pytest.approx(1.0)
+        p.record_evict(2)
+        p.record_insert(3, cost=2.0)
+        # Depreciated LRU (cost 1) is now cheaper than entry 3 (cost 2).
+        assert p.victim(everything_evictable) == 1
+
+    def test_access_restores_full_cost(self):
+        p = BCLPolicy(4)
+        p.record_insert(1, cost=3.0)
+        p.record_insert(2, cost=2.0)
+        p.victim(everything_evictable)  # depreciates 1 to cost 1
+        p.record_access(1)
+        assert p.depreciated_cost(1) == pytest.approx(3.0)
+
+
+class TestDCL:
+    def test_no_immediate_depreciation(self):
+        p = DCLPolicy(4)
+        p.record_insert(1, cost=3.0)
+        p.record_insert(2, cost=2.0)
+        assert p.victim(everything_evictable) == 2
+        assert p.depreciated_cost(1) == pytest.approx(3.0)  # unchanged
+
+    def test_depreciation_applied_when_victim_reaccessed_first(self):
+        p = DCLPolicy(4)
+        p.record_insert(1, cost=3.0)
+        p.record_insert(2, cost=2.0)
+        assert p.victim(everything_evictable) == 2
+        p.record_evict(2)
+        p.record_access(2)  # evicted-in-place-of-LRU entry re-accessed
+        assert p.depreciated_cost(1) == pytest.approx(1.0)
+
+    def test_no_depreciation_when_lru_accessed_first(self):
+        p = DCLPolicy(4)
+        p.record_insert(1, cost=3.0)
+        p.record_insert(2, cost=2.0)
+        assert p.victim(everything_evictable) == 2
+        p.record_evict(2)
+        p.record_access(1)  # sparing the LRU paid off
+        p.record_access(2)  # later re-access must not depreciate any more
+        assert p.depreciated_cost(1) == pytest.approx(3.0)

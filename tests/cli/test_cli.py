@@ -1,0 +1,78 @@
+"""Tests for the ``simfs-ctl`` command-line utilities."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInitialRun:
+    def test_produces_outputs_and_restarts(self, tmp_path, capsys):
+        out = str(tmp_path / "out")
+        rst = str(tmp_path / "rst")
+        code = main([
+            "initial-run", "--simulator", "synthetic", "--prefix", "cli",
+            "--delta-d", "2", "--delta-r", "8", "--num-timesteps", "32",
+            "--output-dir", out, "--restart-dir", rst,
+        ])
+        assert code == 0
+        assert len(os.listdir(out)) == 16
+        assert len(os.listdir(rst)) == 4
+        assert "16 output steps" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("simulator", ["cosmo", "flash"])
+    def test_other_simulators(self, tmp_path, simulator):
+        out = str(tmp_path / "out")
+        rst = str(tmp_path / "rst")
+        code = main([
+            "initial-run", "--simulator", simulator, "--prefix", simulator,
+            "--delta-d", "4", "--delta-r", "8", "--num-timesteps", "16",
+            "--output-dir", out, "--restart-dir", rst,
+        ])
+        assert code == 0
+        assert len(os.listdir(out)) == 4
+
+
+class TestRecordChecksums:
+    def test_checksum_map_written(self, tmp_path, capsys):
+        out = str(tmp_path / "out")
+        rst = str(tmp_path / "rst")
+        main([
+            "initial-run", "--prefix", "x", "--delta-d", "2", "--delta-r",
+            "8", "--num-timesteps", "16", "--output-dir", out,
+            "--restart-dir", rst,
+        ])
+        sums = str(tmp_path / "sums.json")
+        code = main(["record-checksums", out, "--out", sums])
+        assert code == 0
+        with open(sums, encoding="utf-8") as fh:
+            checksums = json.load(fh)
+        assert len(checksums) == 8  # 8 outputs, no restarts in out/
+        assert all(len(v) == 64 for v in checksums.values())  # sha256 hex
+
+
+class TestReplay:
+    def test_replay_prints_counters(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "replay", "--pattern", "ecmwf", "--policy", "dcl",
+            "--accesses", "500", "--seed", "3",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["accesses"] == 500
+        assert report["hits"] + report["restarts"] <= 500 + report["restarts"]
+        assert report["policy"] == "dcl"
+
+    def test_replay_all_patterns(self, capsys):
+        for pattern in ("forward", "backward", "random"):
+            code = main([
+                "replay", "--pattern", pattern, "--policy", "lru",
+                "--num-timesteps", "960", "--delta-r", "120",
+            ])
+            assert code == 0
+            report = json.loads(capsys.readouterr().out)
+            assert report["pattern"] == pattern
+            assert report["simulated_outputs"] >= 0

@@ -1,0 +1,94 @@
+"""Unit tests for SimFSSession plumbing against an in-process server."""
+
+import pytest
+
+from repro.client import LocalConnection, SimFSSession
+from repro.client.api import simfs_release, simfs_test, simfs_testsome, simfs_wait
+from repro.core.errors import ErrorCode
+from repro.core.status import FileState
+from tests.integration.conftest import build_server
+
+
+@pytest.fixture
+def stack(tmp_path):
+    server, context, reference = build_server(tmp_path, name="api")
+    yield server, context
+    server.stop()
+    server.launcher.wait_all()
+
+
+class TestSessionLifecycle:
+    def test_double_finalize_is_safe(self, stack):
+        server, context = stack
+        with LocalConnection(server) as conn:
+            session = SimFSSession(conn, context.name)
+            session.finalize()
+            session.finalize()  # idempotent
+
+    def test_context_manager_finalizes(self, stack):
+        server, context = stack
+        with LocalConnection(server) as conn:
+            with SimFSSession(conn, context.name):
+                pass
+            state = server.coordinator.get_state(context.name)
+            assert not state.agents
+
+    def test_acquire_reports_states(self, stack):
+        server, context = stack
+        with LocalConnection(server) as conn:
+            with SimFSSession(conn, context.name) as session:
+                status = session.acquire([context.filename_of(3)], timeout=30.0)
+                assert status.file_states[context.filename_of(3)] is FileState.ON_DISK
+
+    def test_estimated_wait_reported_before_ready(self, stack):
+        server, context = stack
+        with LocalConnection(server) as conn:
+            with SimFSSession(conn, context.name) as session:
+                status, request = session.acquire_nb([context.filename_of(9)])
+                # Either still pending (estimate present) or already done.
+                if not request.complete:
+                    assert status.estimated_wait >= 0.0
+                session.wait(request, timeout=30.0)
+
+
+class TestCStyleShims:
+    def test_wait_and_test_and_release(self, stack):
+        server, context = stack
+        with LocalConnection(server) as conn:
+            session = SimFSSession(conn, context.name)
+            _status, request = session.acquire_nb([context.filename_of(4)])
+            code, status = simfs_wait(session, request)
+            assert code == int(ErrorCode.SUCCESS)
+            code, flag, _ = simfs_test(session, request)
+            assert code == int(ErrorCode.SUCCESS) and flag is True
+            code, indices, _ = simfs_testsome(session, request)
+            assert code == int(ErrorCode.SUCCESS)
+            assert simfs_release(session, context.filename_of(4)) == int(
+                ErrorCode.SUCCESS
+            )
+            session.finalize()
+
+    def test_release_unheld_file_errors(self, stack):
+        server, context = stack
+        with LocalConnection(server) as conn:
+            session = SimFSSession(conn, context.name)
+            code = simfs_release(session, context.filename_of(1))
+            assert code == int(ErrorCode.ERR_INVALID)
+            session.finalize()
+
+
+class TestReadyTableRace:
+    def test_notification_before_reply_is_not_lost(self, stack):
+        """A ready notification recorded before acquire_nb returns must
+        still mark the request (the TCP race the ready-table absorbs)."""
+        server, context = stack
+        with LocalConnection(server) as conn:
+            session = SimFSSession(conn, context.name)
+            # Pre-record: simulate the race by marking ready up front.
+            fname = context.filename_of(5)
+            # Make the file actually exist so open() reports available.
+            session.acquire([fname], timeout=30.0)
+            session.release(fname)
+            _status, request = session.acquire_nb([fname])
+            assert request.complete
+            session.finalize()

@@ -1,0 +1,104 @@
+"""Tests for the (αsim, τsim) performance model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidArgumentError
+from repro.core.perfmodel import PerformanceModel, ScalingModel
+
+COSMO = PerformanceModel(
+    tau_sim=3.0, alpha_sim=13.0, nodes_per_level=(100, 200, 400, 800)
+)
+
+
+class TestBasics:
+    def test_level0_values(self):
+        assert COSMO.tau(0) == 3.0
+        assert COSMO.alpha(0) == 13.0
+        assert COSMO.nodes(0) == 100
+
+    def test_simulation_time_formula(self):
+        # T_sim(n, p) = alpha + n * tau
+        assert COSMO.simulation_time(10) == pytest.approx(13.0 + 30.0)
+        assert COSMO.simulation_time(0) == pytest.approx(13.0)
+
+    def test_tau_decreases_with_level(self):
+        taus = [COSMO.tau(level) for level in range(COSMO.max_level + 1)]
+        assert taus == sorted(taus, reverse=True)
+        assert taus[-1] < taus[0]
+
+    def test_alpha_constant_by_default(self):
+        assert all(COSMO.alpha(lv) == 13.0 for lv in range(COSMO.max_level + 1))
+
+    def test_alpha_scaling_optional(self):
+        model = PerformanceModel(
+            tau_sim=3.0,
+            alpha_sim=13.0,
+            nodes_per_level=(100, 200),
+            alpha_scales_with_nodes=True,
+        )
+        assert model.alpha(1) < model.alpha(0)
+
+    def test_next_level_is_faster(self):
+        assert COSMO.next_level_is_faster(0)
+        assert not COSMO.next_level_is_faster(COSMO.max_level)
+
+    def test_fully_serial_model_never_speeds_up(self):
+        model = PerformanceModel(
+            tau_sim=1.0,
+            alpha_sim=0.0,
+            nodes_per_level=(1, 2, 4),
+            scaling=ScalingModel(serial_fraction=1.0),
+        )
+        assert model.tau(2) == pytest.approx(1.0)
+        assert not model.next_level_is_faster(0)
+
+
+class TestValidation:
+    def test_negative_tau(self):
+        with pytest.raises(InvalidArgumentError):
+            PerformanceModel(tau_sim=-1.0, alpha_sim=0.0)
+
+    def test_negative_alpha(self):
+        with pytest.raises(InvalidArgumentError):
+            PerformanceModel(tau_sim=1.0, alpha_sim=-0.1)
+
+    def test_empty_levels(self):
+        with pytest.raises(InvalidArgumentError):
+            PerformanceModel(tau_sim=1.0, alpha_sim=0.0, nodes_per_level=())
+
+    def test_decreasing_levels_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            PerformanceModel(tau_sim=1.0, alpha_sim=0.0, nodes_per_level=(4, 2))
+
+    def test_level_out_of_range(self):
+        with pytest.raises(InvalidArgumentError):
+            COSMO.tau(99)
+
+    def test_negative_outputs(self):
+        with pytest.raises(InvalidArgumentError):
+            COSMO.simulation_time(-1)
+
+    def test_bad_serial_fraction(self):
+        with pytest.raises(InvalidArgumentError):
+            ScalingModel(serial_fraction=1.5)
+
+
+@given(
+    tau=st.floats(min_value=0.01, max_value=100, allow_nan=False),
+    alpha=st.floats(min_value=0, max_value=1000, allow_nan=False),
+    n=st.integers(min_value=0, max_value=10_000),
+)
+def test_simulation_time_linear_in_n(tau, alpha, n):
+    model = PerformanceModel(tau_sim=tau, alpha_sim=alpha)
+    assert model.simulation_time(n) == pytest.approx(alpha + n * tau)
+
+
+@given(serial=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+def test_speedup_bounded_by_amdahl(serial):
+    model = ScalingModel(serial_fraction=serial)
+    sp = model.speedup(16.0)
+    assert 1.0 <= sp <= 16.0 + 1e-9
+    if serial > 0:
+        assert sp <= 1.0 / serial + 1e-9

@@ -1,0 +1,178 @@
+"""Unit and property tests for output/restart step arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidArgumentError
+from repro.core.steps import StepGeometry
+
+# The paper's Fig. 3 example: Δd=4, Δr=8 (outputs at t=4,8,12,16; restarts
+# at t=0,8,16).
+FIG3 = StepGeometry(delta_d=4, delta_r=8, num_timesteps=16)
+
+
+class TestFig3Example:
+    def test_counts(self):
+        assert FIG3.num_output_steps == 4
+        assert FIG3.num_restart_steps == 2
+
+    def test_output_timesteps(self):
+        assert [FIG3.timestep_of_output(i) for i in (1, 2, 3, 4)] == [4, 8, 12, 16]
+
+    def test_restart_before(self):
+        # Strictly-previous restart: d2 (t=8, aligned with r1) must be
+        # (re)produced by a job starting at r0.
+        assert FIG3.restart_before(1) == 0
+        assert FIG3.restart_before(2) == 0
+        assert FIG3.restart_before(3) == 1
+        assert FIG3.restart_before(4) == 1
+
+    def test_restart_after(self):
+        assert FIG3.restart_after(1) == 1
+        assert FIG3.restart_after(2) == 1
+        assert FIG3.restart_after(3) == 2
+        assert FIG3.restart_after(4) == 2
+
+    def test_alignment(self):
+        assert not FIG3.is_restart_aligned(1)
+        assert FIG3.is_restart_aligned(2)
+        assert FIG3.is_restart_aligned(4)
+
+    def test_miss_cost(self):
+        # d1 is one output past r0; d2 (aligned with r1) needs the full
+        # interval from r0.
+        assert FIG3.miss_cost(1) == 1
+        assert FIG3.miss_cost(2) == 2
+        assert FIG3.miss_cost(3) == 1
+        assert FIG3.miss_cost(4) == 2
+
+    def test_resim_outputs_covers_target(self):
+        for i in range(1, 5):
+            assert i in FIG3.resim_outputs(i)
+
+    def test_resim_outputs_unaligned(self):
+        # d3 restarts from r1 (t=8) and runs to r2 (t=16): outputs d3, d4.
+        assert list(FIG3.resim_outputs(3)) == [3, 4]
+
+    def test_resim_outputs_aligned(self):
+        # d2 coincides with r1; its producing job runs r0 -> r1 (outputs
+        # d1, d2), the exclusive production window of Figs. 7-10.
+        assert list(FIG3.resim_outputs(2)) == [1, 2]
+
+    def test_resim_job_extent(self):
+        assert FIG3.resim_job_extent(3) == (1, 2)
+        assert FIG3.resim_job_extent(2) == (0, 1)
+
+    def test_canonical_job_spans_one_interval(self):
+        for i in range(1, 5):
+            start, stop = FIG3.resim_job_extent(i)
+            assert stop == start + 1
+
+
+class TestValidation:
+    def test_bad_delta_d(self):
+        with pytest.raises(InvalidArgumentError):
+            StepGeometry(0, 8)
+
+    def test_bad_delta_r(self):
+        with pytest.raises(InvalidArgumentError):
+            StepGeometry(4, -1)
+
+    def test_output_index_zero_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            FIG3.timestep_of_output(0)
+
+    def test_output_beyond_end_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            FIG3.restart_before(5)
+
+    def test_unbounded_counts_rejected(self):
+        geo = StepGeometry(4, 8)
+        with pytest.raises(InvalidArgumentError):
+            _ = geo.num_output_steps
+
+    def test_outputs_between_restarts_bad_order(self):
+        with pytest.raises(InvalidArgumentError):
+            FIG3.outputs_between_restarts(2, 2)
+
+
+class TestCosmoGeometry:
+    """The paper's COSMO evaluation context: Δd=5, Δr=60 (minutes-as-steps)."""
+
+    geo = StepGeometry(delta_d=5, delta_r=60, num_timesteps=4 * 24 * 60)
+
+    def test_outputs_per_restart_interval(self):
+        assert self.geo.outputs_per_restart_interval == 12
+
+    def test_counts_for_four_days(self):
+        assert self.geo.num_output_steps == 1152
+        assert self.geo.num_restart_steps == 96
+
+    def test_miss_cost_range(self):
+        costs = {self.geo.miss_cost(i) for i in range(1, 200)}
+        assert costs == set(range(1, 13))
+
+
+geometries = st.builds(
+    StepGeometry,
+    delta_d=st.integers(min_value=1, max_value=50),
+    delta_r=st.integers(min_value=1, max_value=400),
+    num_timesteps=st.just(None),
+)
+
+
+@given(geo=geometries, i=st.integers(min_value=1, max_value=10_000))
+def test_restart_brackets_output(geo, i):
+    """R(d_i) is strictly before d_i; restart_after at or after; the
+    canonical job spans exactly one restart interval."""
+    before = geo.restart_before(i)
+    after = geo.restart_after(i)
+    out_ts = geo.timestep_of_output(i)
+    assert before * geo.delta_r < out_ts <= after * geo.delta_r
+    assert after == before + 1
+
+
+@given(geo=geometries, i=st.integers(min_value=1, max_value=10_000))
+def test_miss_cost_bounded_by_restart_interval(geo, i):
+    import math
+
+    cost = geo.miss_cost(i)
+    assert 1 <= cost <= math.ceil(geo.delta_r / geo.delta_d)
+
+
+@given(geo=geometries, i=st.integers(min_value=2, max_value=10_000))
+def test_restart_before_monotone(geo, i):
+    assert geo.restart_before(i) >= geo.restart_before(i - 1)
+
+
+@given(geo=geometries, i=st.integers(min_value=1, max_value=10_000))
+def test_resim_outputs_contains_target_and_is_contiguous(geo, i):
+    outs = geo.resim_outputs(i)
+    assert i in outs
+    assert outs.step == 1
+    assert len(outs) >= 1
+
+
+@given(geo=geometries, i=st.integers(min_value=1, max_value=10_000))
+def test_resim_outputs_match_job_extent(geo, i):
+    start_r, stop_r = geo.resim_job_extent(i)
+    assert list(geo.resim_outputs(i)) == list(
+        geo.outputs_between_restarts(start_r, stop_r)
+    )
+
+
+@given(
+    geo=geometries,
+    n=st.integers(min_value=1, max_value=5_000),
+)
+def test_round_up_to_restart_outputs(geo, n):
+    import math
+
+    rounded = geo.round_up_to_restart_outputs(n)
+    assert rounded >= n
+    # The job spans the minimal whole number of restart intervals covering
+    # n output steps, and `rounded` is the last output inside that span.
+    intervals = math.ceil(n * geo.delta_d / geo.delta_r)
+    assert rounded == (intervals * geo.delta_r) // geo.delta_d
+    assert (rounded + 1) * geo.delta_d > intervals * geo.delta_r

@@ -1,0 +1,174 @@
+"""Tests for the Sec. V cost models and figure sweeps."""
+
+import pytest
+
+from repro.core.errors import InvalidArgumentError
+from repro.costs import (
+    AZURE_COSTS,
+    COSMO_COST_SCENARIO,
+    CostParams,
+    analyses_sweep,
+    availability_sweep,
+    c_sim,
+    c_store,
+    cost_ratio_heatmap,
+    in_situ_cost,
+    on_disk_cost,
+    overlap_sweep,
+    scenario_geometry,
+    simfs_cost,
+    space_tradeoff,
+)
+from repro.traces.workload import AnalysisRun
+
+
+class TestBuildingBlocks:
+    def test_c_sim_formula(self):
+        # One output = 20 s on 100 nodes at 2.07 $/node/h:
+        # 20/3600 * 100 * 2.07 = 1.15 $.
+        assert c_sim(1, COSMO_COST_SCENARIO) == pytest.approx(1.15)
+
+    def test_c_store_formula(self):
+        # 10 files of 6 GiB for 12 months at 0.06: 10*6*12*0.06 = 43.2 $.
+        assert c_store(10, 6.0, 12, COSMO_COST_SCENARIO) == pytest.approx(43.2)
+
+    def test_scenario_restart_count_matches_paper(self):
+        # Fig. 15b annotates 3.16 TiB of restarts at Δr = 8 h.
+        restarts_tib = (
+            COSMO_COST_SCENARIO.num_restart_steps
+            * COSMO_COST_SCENARIO.restart_step_gib
+            / 1024
+        )
+        assert restarts_tib == pytest.approx(3.12, abs=0.1)
+
+    def test_total_volume_is_50tib(self):
+        assert COSMO_COST_SCENARIO.total_output_gib == pytest.approx(
+            50 * 1024, rel=0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidArgumentError):
+            CostParams(0.0, 0.06, 100, 20.0, 6.0, 36.0, 100, 96.0)
+        with pytest.raises(InvalidArgumentError):
+            c_sim(-1, COSMO_COST_SCENARIO)
+        with pytest.raises(InvalidArgumentError):
+            c_store(-1, 6.0, 12, COSMO_COST_SCENARIO)
+
+
+class TestSolutionCosts:
+    def test_on_disk_grows_linearly_with_months(self):
+        c12 = on_disk_cost(COSMO_COST_SCENARIO, 12)
+        c24 = on_disk_cost(COSMO_COST_SCENARIO, 24)
+        c36 = on_disk_cost(COSMO_COST_SCENARIO, 36)
+        assert c24 - c12 == pytest.approx(c36 - c24)
+
+    def test_on_disk_5y_matches_intro_claim(self):
+        # Intro: storing 50 TiB on-disk for 5 y costs "more than $200,000".
+        assert on_disk_cost(COSMO_COST_SCENARIO, 60) > 190_000
+
+    def test_in_situ_independent_of_months(self):
+        runs = [AnalysisRun(100, 500)]
+        assert in_situ_cost(COSMO_COST_SCENARIO, runs) == in_situ_cost(
+            COSMO_COST_SCENARIO, runs
+        )
+
+    def test_in_situ_counts_unused_prefix(self):
+        cheap = in_situ_cost(COSMO_COST_SCENARIO, [AnalysisRun(1, 100)])
+        costly = in_situ_cost(COSMO_COST_SCENARIO, [AnalysisRun(5000, 100)])
+        assert costly > cheap
+
+    def test_simfs_cost_components(self):
+        base = simfs_cost(COSMO_COST_SCENARIO, 12, cache_steps=0,
+                          resimulated_outputs=0)
+        with_cache = simfs_cost(COSMO_COST_SCENARIO, 12, cache_steps=1000,
+                                resimulated_outputs=0)
+        with_resim = simfs_cost(COSMO_COST_SCENARIO, 12, cache_steps=0,
+                                resimulated_outputs=1000)
+        assert with_cache > base
+        assert with_resim == pytest.approx(base + 1000 * 1.15)
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def fig1_rows(self):
+        return availability_sweep(
+            months_list=(6, 24, 60), num_analyses=30, analysis_length=400,
+        )
+
+    def test_fig1_in_situ_flat(self, fig1_rows):
+        in_situ = {row.in_situ for row in fig1_rows}
+        assert len(in_situ) == 1
+
+    def test_fig1_simfs_cheaper_than_on_disk_long_term(self, fig1_rows):
+        last = [r for r in fig1_rows if r.months == 60][0]
+        assert last.simfs < last.on_disk
+
+    def test_fig12_larger_dr_needs_less_restart_storage(self):
+        rows = space_tradeoff(
+            restart_hours_list=(4.0, 16.0), cache_fractions=(0.25,),
+            num_analyses=10, analysis_length=300,
+        )
+        by_dr = {r.restart_hours: r for r in rows}
+        assert by_dr[16.0].restart_space_tib < by_dr[4.0].restart_space_tib
+
+    def test_fig13_overlap_raises_simfs_cost(self):
+        rows = overlap_sweep(
+            overlaps=(0.0, 1.0), restart_hours_list=(8.0,),
+            cache_fractions=(0.25,), num_analyses=30, analysis_length=400,
+        )
+        by_overlap = {r.overlap: r for r in rows}
+        assert by_overlap[1.0].resim_outputs >= by_overlap[0.0].resim_outputs
+        assert by_overlap[1.0].simfs >= by_overlap[0.0].simfs
+
+    def test_fig14_in_situ_wins_for_few_analyses(self):
+        rows = analyses_sweep(
+            analysis_counts=(1, 100), restart_hours_list=(8.0,),
+            cache_fractions=(0.25,), analysis_length=400,
+        )
+        few = [r for r in rows if r.num_analyses == 1][0]
+        many = [r for r in rows if r.num_analyses == 100][0]
+        # Paper: in-situ beats SimFS below ~20 analyses, loses beyond.
+        assert few.in_situ < few.simfs
+        assert many.simfs < many.in_situ
+
+    def test_fig15a_corner_structure(self):
+        # The heatmap's corners (Fig. 15a): cheap storage + costly compute
+        # makes on-disk the best alternative; costly storage + cheap
+        # compute makes in-situ the best alternative.
+        cells = cost_ratio_heatmap(
+            storage_costs=(0.02, 0.35), compute_costs=(0.25, 3.0),
+            num_analyses=30, analysis_length=400,
+        )
+        grid = {
+            (c["storage_cost"], c["compute_cost"]): c for c in cells
+        }
+        cheap_store = grid[(0.02, 3.0)]
+        costly_store = grid[(0.35, 0.25)]
+        assert cheap_store["on_disk"] < cheap_store["in_situ"]
+        assert costly_store["in_situ"] < costly_store["on_disk"]
+
+    def test_fig15a_contains_platform_datapoints(self):
+        cells = cost_ratio_heatmap(
+            storage_costs=(0.06,), compute_costs=(2.07,),
+            num_analyses=10, analysis_length=200,
+        )
+        points = {(c["storage_cost"], c["compute_cost"]) for c in cells}
+        assert (AZURE_COSTS["storage_cost"], AZURE_COSTS["compute_cost"]) in points
+
+    def test_fig15c_bigger_cache_less_compute_time(self):
+        rows = space_tradeoff(
+            restart_hours_list=(8.0,), cache_fractions=(0.25, 0.5),
+            num_analyses=30, analysis_length=400,
+        )
+        by_cache = {r.cache_fraction: r for r in rows}
+        assert by_cache[0.5].resim_hours <= by_cache[0.25].resim_hours
+
+
+class TestScenarioGeometry:
+    def test_outputs_per_restart(self):
+        geo = scenario_geometry(restart_hours=8.0)
+        assert geo.outputs_per_restart_interval == pytest.approx(96.0)
+
+    def test_num_output_steps(self):
+        geo = scenario_geometry(restart_hours=8.0)
+        assert geo.num_output_steps == COSMO_COST_SCENARIO.num_output_steps

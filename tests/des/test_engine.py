@@ -1,0 +1,111 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.core.errors import InvalidArgumentError
+from repro.des import DESEngine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = DESEngine()
+        fired = []
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        engine = DESEngine()
+        fired = []
+        for tag in "abc":
+            engine.schedule(1.0, lambda t=tag: fired.append(t))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        engine = DESEngine()
+        seen = []
+        engine.schedule(5.5, lambda: seen.append(engine.now()))
+        engine.run()
+        assert seen == [5.5]
+        assert engine.now() == 5.5
+
+    def test_events_scheduled_during_run(self):
+        engine = DESEngine()
+        fired = []
+
+        def first():
+            fired.append(("first", engine.now()))
+            engine.schedule(2.0, lambda: fired.append(("second", engine.now())))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert fired == [("first", 1.0), ("second", 3.0)]
+
+    def test_schedule_at_absolute(self):
+        engine = DESEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        handle = engine.schedule_at(10.0, lambda: None)
+        assert handle.time == 10.0
+        with pytest.raises(InvalidArgumentError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            DESEngine().schedule(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = DESEngine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_pending_excludes_cancelled(self):
+        engine = DESEngine()
+        keep = engine.schedule(1.0, lambda: None)
+        drop = engine.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert engine.pending == 1
+
+
+class TestRunBounds:
+    def test_run_until(self):
+        engine = DESEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now() == 5.0
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_runaway_guard(self):
+        engine = DESEngine()
+
+        def reschedule():
+            engine.schedule(0.1, reschedule)
+
+        engine.schedule(0.0, reschedule)
+        with pytest.raises(RuntimeError):
+            engine.run(max_events=1000)
+
+    def test_determinism(self):
+        def run_once():
+            engine = DESEngine()
+            out = []
+            engine.schedule(2.0, lambda: out.append(("a", engine.now())))
+            engine.schedule(2.0, lambda: out.append(("b", engine.now())))
+            engine.schedule(1.0, lambda: engine.schedule(0.5, lambda: out.append(("c", engine.now()))))
+            engine.run()
+            return out
+
+        assert run_once() == run_once()

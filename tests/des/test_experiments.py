@@ -1,0 +1,147 @@
+"""Shape tests for the Sec. VI experiment runners (Figs. 16-19).
+
+The paper's absolute numbers came from Piz Daint; the DES is noise-free,
+so these tests pin the *shapes* the figures report: scaling direction,
+saturation, warm-up convergence, and the analytic bounds.
+"""
+
+import pytest
+
+from repro.des import latency_experiment, scaling_experiment
+from repro.simulators import (
+    COSMO_EVAL_CONFIG,
+    COSMO_EVAL_PERF,
+    FLASH_EVAL_CONFIG,
+    FLASH_EVAL_PERF,
+)
+
+
+@pytest.fixture(scope="module")
+def cosmo_scaling():
+    return scaling_experiment(
+        COSMO_EVAL_CONFIG, COSMO_EVAL_PERF, m=72, smax_values=(2, 4, 8, 16)
+    )
+
+
+@pytest.fixture(scope="module")
+def flash_scaling():
+    return scaling_experiment(
+        FLASH_EVAL_CONFIG, FLASH_EVAL_PERF, m=200, smax_values=(2, 4, 8, 16)
+    )
+
+
+def by_direction(points, direction):
+    return {p.smax: p for p in points if p.direction == direction}
+
+
+class TestFig16Cosmo:
+    def test_forward_beats_full_resimulation(self, cosmo_scaling):
+        fwd = by_direction(cosmo_scaling, "forward")
+        assert all(p.speedup > 1.0 for p in fwd.values())
+
+    def test_forward_scales_then_saturates(self, cosmo_scaling):
+        fwd = by_direction(cosmo_scaling, "forward")
+        times = [fwd[s].running_time for s in (2, 4, 8, 16)]
+        assert times[1] <= times[0]
+        # Paper: smax=16 brings no further benefit for m=72 (prefetched
+        # data is never accessed).
+        assert times[3] == pytest.approx(times[2], rel=0.05)
+
+    def test_backward_slower_than_forward(self, cosmo_scaling):
+        # Paper: backward scales worse (first access served only after a
+        # full restart interval is simulated).
+        fwd = by_direction(cosmo_scaling, "forward")
+        bwd = by_direction(cosmo_scaling, "backward")
+        for smax in (2, 4, 8):
+            assert bwd[smax].running_time >= fwd[smax].running_time
+
+    def test_full_forward_reference_value(self, cosmo_scaling):
+        # T_single = 13 + 72*3 = 229 s.
+        assert cosmo_scaling[0].full_forward_time == pytest.approx(229.0)
+
+
+class TestFig18Flash:
+    def test_scaling_improves_through_smax16(self, flash_scaling):
+        fwd = by_direction(flash_scaling, "forward")
+        times = [fwd[s].running_time for s in (2, 4, 8, 16)]
+        assert times == sorted(times, reverse=True)
+        assert fwd[16].speedup > fwd[2].speedup
+
+    def test_forward_backward_similar(self, flash_scaling):
+        # Paper: FLASH's high restart frequency makes the two directions
+        # behave the same (within ~25 %).
+        fwd = by_direction(flash_scaling, "forward")
+        bwd = by_direction(flash_scaling, "backward")
+        for smax in (2, 4, 8, 16):
+            ratio = bwd[smax].running_time / fwd[smax].running_time
+            assert 0.75 < ratio < 1.35
+
+
+class TestFig17CosmoLatency:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return latency_experiment(
+            COSMO_EVAL_CONFIG,
+            COSMO_EVAL_PERF,
+            alpha_values=(0.0, 100.0, 300.0, 600.0),
+            m_values=(72, 288),
+            smax=8,
+        )
+
+    def test_time_grows_with_latency(self, points):
+        for m in (72, 288):
+            series = sorted(
+                (p for p in points if p.m == m), key=lambda p: p.alpha_sim
+            )
+            times = [p.running_time for p in series]
+            assert times == sorted(times)
+
+    def test_bounded_by_lower_bound(self, points):
+        assert all(p.running_time >= p.t_lower - 1e-6 for p in points)
+
+    def test_short_analysis_overhead_bounded_by_2x_single(self, points):
+        # Paper: the warm-up bounds SimFS overhead at ~2x T_single.
+        for p in points:
+            if p.m == 72:
+                assert p.running_time <= 2.0 * p.t_single + 1e-6
+
+    def test_long_analysis_beats_single_sim(self, points):
+        # Larger m amortizes the warm-up (the Amdahl effect of Sec. IV-C1a)
+        # as long as the warm-up itself does not dominate (T_pre < T_single).
+        for p in points:
+            if p.m == 288 and p.t_pre < p.t_single:
+                assert p.running_time < p.t_single
+
+    def test_converges_to_warmup_at_high_latency(self, points):
+        # Paper: "the analysis running time converges to the prefetching
+        # warm-up time" when alpha dwarfs the production time.
+        for p in points:
+            if p.alpha_sim == 600.0:
+                steady = p.m * COSMO_EVAL_PERF.tau_sim / 8
+                assert p.running_time <= p.t_pre + steady + 1e-6
+                assert p.running_time >= 0.5 * p.t_pre
+
+
+class TestFig19FlashLatency:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return latency_experiment(
+            FLASH_EVAL_CONFIG,
+            FLASH_EVAL_PERF,
+            alpha_values=(0.0, 200.0, 600.0),
+            m_values=(200, 400),
+            smax=8,
+        )
+
+    def test_prefetching_beats_single_sim(self, points):
+        # Paper: FLASH's higher tau_sim makes prefetching effective — the
+        # SimFS line stays below T_single across the latency sweep.
+        assert all(p.running_time < p.t_single for p in points)
+
+    def test_time_grows_with_latency(self, points):
+        for m in (200, 400):
+            series = sorted(
+                (p for p in points if p.m == m), key=lambda p: p.alpha_sim
+            )
+            times = [p.running_time for p in series]
+            assert times == sorted(times)

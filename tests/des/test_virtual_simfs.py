@@ -1,0 +1,170 @@
+"""Tests for the virtual-time SimFS (DES executor + virtual analyses)."""
+
+import pytest
+
+from repro.core.context import ContextConfig, SimulationContext
+from repro.core.perfmodel import PerformanceModel
+from repro.des import VirtualSimFS
+from repro.simulators import SyntheticDriver
+
+
+def make_context(
+    name="vctx",
+    delta_d=1,
+    delta_r=4,
+    num_timesteps=400,
+    tau=1.0,
+    alpha=2.0,
+    smax=8,
+    prefetch=True,
+    capacity=None,
+):
+    config = ContextConfig(
+        name=name,
+        delta_d=delta_d,
+        delta_r=delta_r,
+        num_timesteps=num_timesteps,
+        smax=smax,
+        prefetch_enabled=prefetch,
+        max_storage_bytes=capacity,
+    )
+    driver = SyntheticDriver(config.geometry, prefix=name, cells=4)
+    perf = PerformanceModel(tau_sim=tau, alpha_sim=alpha)
+    return SimulationContext(config=config, driver=driver, perf=perf)
+
+
+class TestSingleAnalysis:
+    def test_single_miss_timing_is_exact(self):
+        """One access to d2: wait alpha + 2*tau, then process tau_cli."""
+        context = make_context(prefetch=False)
+        simfs = VirtualSimFS()
+        simfs.add_context(context)
+        analysis = simfs.add_analysis(context, [2], tau_cli=0.5)
+        simfs.run()
+        # d2 produced at alpha(2) + 2*tau(1) = 4.0; processing ends 4.5.
+        assert analysis.done
+        assert analysis.finish_time == pytest.approx(4.5)
+        assert analysis.miss_count == 1
+
+    def test_no_prefetch_forward_pays_alpha_every_interval(self):
+        """Fig. 7's pathology: every interval costs a full restart latency."""
+        context = make_context(prefetch=False)
+        simfs = VirtualSimFS()
+        simfs.add_context(context)
+        m = 12  # 3 restart intervals
+        analysis = simfs.add_analysis(context, list(range(1, m + 1)), tau_cli=0.5)
+        simfs.run()
+        # Each interval: alpha + 4*tau of production; analysis is
+        # production-bound: >= 3 * (2 + 4) = 18 seconds.
+        assert analysis.running_time >= 17.0
+        assert analysis.miss_count >= 3
+
+    def test_prefetch_masks_restart_latency(self):
+        """Fig. 8: with prefetching, later intervals hide their alpha."""
+        slow = self._run_forward(prefetch=False)
+        fast = self._run_forward(prefetch=True)
+        assert fast < slow
+
+    @staticmethod
+    def _run_forward(prefetch):
+        context = make_context(prefetch=prefetch, smax=8)
+        simfs = VirtualSimFS()
+        simfs.add_context(context)
+        analysis = simfs.add_analysis(context, list(range(1, 33)), tau_cli=0.5)
+        simfs.run()
+        assert analysis.done
+        return analysis.running_time
+
+    def test_hits_are_free(self):
+        context = make_context(prefetch=False)
+        simfs = VirtualSimFS()
+        simfs.add_context(context)
+        state = simfs.coordinator.get_state(context.name)
+        for key in range(1, 9):
+            state.area.insert(key)
+        analysis = simfs.add_analysis(context, list(range(1, 9)), tau_cli=0.25)
+        simfs.run()
+        assert analysis.miss_count == 0
+        # 8 accesses, each tau_cli: exactly 2 seconds.
+        assert analysis.running_time == pytest.approx(8 * 0.25)
+
+
+class TestBackwardAnalysis:
+    def test_backward_finds_window_siblings_in_cache(self):
+        """Sec. IV-B2: a backward analysis missing d_i gets d_{i-1}... free
+        because the producing window covered them."""
+        context = make_context(prefetch=False)
+        simfs = VirtualSimFS()
+        simfs.add_context(context)
+        analysis = simfs.add_analysis(
+            context, list(range(8, 0, -1)), tau_cli=0.5
+        )
+        simfs.run()
+        assert analysis.done
+        # Two windows re-simulated (d8..d5 and d4..d1): 2 misses only.
+        assert analysis.miss_count == 2
+
+    def test_backward_completes_with_prefetch(self):
+        context = make_context(prefetch=True, smax=4)
+        simfs = VirtualSimFS()
+        simfs.add_context(context)
+        analysis = simfs.add_analysis(
+            context, list(range(40, 0, -1)), tau_cli=0.5
+        )
+        simfs.run()
+        assert analysis.done
+        assert analysis.running_time > 0
+
+
+class TestMultipleAnalyses:
+    def test_two_analyses_share_production(self):
+        context = make_context(prefetch=False)
+        simfs = VirtualSimFS()
+        simfs.add_context(context)
+        a1 = simfs.add_analysis(context, [2, 3, 4], tau_cli=0.5)
+        a2 = simfs.add_analysis(context, [2, 3, 4], tau_cli=0.5, start_at=0.1)
+        simfs.run()
+        assert a1.done and a2.done
+        # One canonical window serves both analyses.
+        assert simfs.coordinator.total_restarts == 1
+
+    def test_smax_one_serializes_intervals(self):
+        context_s1 = make_context(name="s1", smax=1, prefetch=True)
+        context_s4 = make_context(name="s4", smax=4, prefetch=True)
+        times = {}
+        for context in (context_s1, context_s4):
+            simfs = VirtualSimFS()
+            simfs.add_context(context)
+            analysis = simfs.add_analysis(
+                context, list(range(1, 25)), tau_cli=0.1
+            )
+            simfs.run()
+            assert analysis.done
+            times[context.name] = analysis.running_time
+        assert times["s4"] < times["s1"]
+
+
+class TestQueueDelays:
+    def test_stochastic_queue_delay_slows_analysis(self):
+        def run(delay):
+            context = make_context(prefetch=False)
+            simfs = VirtualSimFS(queue_delay=(lambda: delay))
+            simfs.add_context(context)
+            analysis = simfs.add_analysis(context, [2], tau_cli=0.5)
+            simfs.run()
+            return analysis.running_time
+
+        assert run(10.0) == pytest.approx(run(0.0) + 10.0)
+
+
+class TestEvictionInVirtualTime:
+    def test_bounded_cache_evicts_during_run(self):
+        context = make_context(capacity=4, prefetch=False)
+        simfs = VirtualSimFS()
+        simfs.add_context(context)
+        analysis = simfs.add_analysis(context, list(range(1, 21)), tau_cli=0.5)
+        simfs.run()
+        assert analysis.done
+        state = simfs.coordinator.get_state(context.name)
+        assert state.area.used_bytes <= 4
+        assert state.area.evictions

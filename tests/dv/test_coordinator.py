@@ -1,0 +1,330 @@
+"""Unit tests for the DV coordinator against a hand-driven fake executor."""
+
+import pytest
+
+from repro.core.context import ContextConfig, SimulationContext
+from repro.core.errors import (
+    ChecksumUnavailableError,
+    ContextError,
+    FileNotInContextError,
+    InvalidArgumentError,
+)
+from repro.core.perfmodel import PerformanceModel
+from repro.core.status import FileState
+from repro.core.steps import StepGeometry
+from repro.dv.coordinator import DVCoordinator
+from repro.simulators import SyntheticDriver
+
+
+class FakeExecutor:
+    """Executor that records launches; the test 'produces' files manually."""
+
+    def __init__(self):
+        self.launched = []
+        self.killed = []
+
+    def launch(self, context, sim):
+        self.launched.append(sim)
+
+    def kill(self, sim_id):
+        self.killed.append(sim_id)
+
+
+def make_setup(
+    delta_d=1,
+    delta_r=4,
+    num_timesteps=400,
+    capacity=None,
+    policy="lru",
+    smax=8,
+    prefetch=False,
+    name="ctx",
+):
+    config = ContextConfig(
+        name=name,
+        delta_d=delta_d,
+        delta_r=delta_r,
+        num_timesteps=num_timesteps,
+        max_storage_bytes=capacity,
+        replacement_policy=policy,
+        smax=smax,
+        prefetch_enabled=prefetch,
+    )
+    driver = SyntheticDriver(config.geometry, prefix=name, cells=8)
+    perf = PerformanceModel(tau_sim=1.0, alpha_sim=2.0)
+    context = SimulationContext(config=config, driver=driver, perf=perf)
+    executor = FakeExecutor()
+    notifications = []
+    dv = DVCoordinator(executor, notify=notifications.append)
+    dv.register_context(context)
+    dv.client_connect("a1", name)
+    return dv, context, executor, notifications
+
+
+def produce(dv, context, keys, now=0.0):
+    """Simulate the simulator closing output files for the given keys."""
+    out = []
+    for key in keys:
+        out += dv.sim_file_closed(context.name, context.filename_of(key), now)
+    return out
+
+
+class TestOpenMissFlow:
+    def test_miss_launches_canonical_demand_job(self):
+        dv, ctx, ex, _ = make_setup()
+        result = dv.handle_open("a1", "ctx", ctx.filename_of(6), now=0.0)
+        assert not result.available
+        assert result.state is FileState.SIMULATING
+        assert len(ex.launched) == 1
+        sim = ex.launched[0]
+        # d6 -> restart extent (1, 2): outputs 5..8
+        assert (sim.start_restart, sim.stop_restart) == (1, 2)
+        assert sim.planned_keys == [5, 6, 7, 8]
+        assert not sim.is_prefetch
+
+    def test_second_waiter_does_not_relaunch(self):
+        dv, ctx, ex, _ = make_setup()
+        dv.client_connect("a2", "ctx")
+        dv.handle_open("a1", "ctx", ctx.filename_of(6), now=0.0)
+        dv.handle_open("a2", "ctx", ctx.filename_of(6), now=0.1)
+        assert len(ex.launched) == 1
+
+    def test_file_ready_notifies_all_waiters(self):
+        dv, ctx, ex, notes = make_setup()
+        dv.client_connect("a2", "ctx")
+        dv.handle_open("a1", "ctx", ctx.filename_of(6), now=0.0)
+        dv.handle_open("a2", "ctx", ctx.filename_of(6), now=0.1)
+        produce(dv, ctx, [5, 6], now=3.0)
+        ready = {(n.client_id, n.filename) for n in notes}
+        assert ready == {("a1", ctx.filename_of(6)), ("a2", ctx.filename_of(6))}
+        assert all(n.ok for n in notes)
+
+    def test_hit_after_production(self):
+        dv, ctx, _, _ = make_setup()
+        dv.handle_open("a1", "ctx", ctx.filename_of(6), now=0.0)
+        produce(dv, ctx, [5, 6, 7, 8], now=3.0)
+        result = dv.handle_open("a1", "ctx", ctx.filename_of(7), now=4.0)
+        assert result.available
+
+    def test_estimated_wait_positive_on_miss(self):
+        dv, ctx, _, _ = make_setup()
+        result = dv.handle_open("a1", "ctx", ctx.filename_of(6), now=0.0)
+        # alpha=2 + position-of-6(=2) * tau=1 -> 4.0
+        assert result.estimated_wait == pytest.approx(4.0)
+
+    def test_estimated_wait_shrinks_with_elapsed_time(self):
+        dv, ctx, _, _ = make_setup()
+        dv.client_connect("a2", "ctx")
+        dv.handle_open("a1", "ctx", ctx.filename_of(6), now=0.0)
+        late = dv.handle_open("a2", "ctx", ctx.filename_of(6), now=3.0)
+        assert late.estimated_wait == pytest.approx(1.0)
+
+    def test_unknown_file_rejected(self):
+        dv, ctx, _, _ = make_setup()
+        with pytest.raises(FileNotInContextError):
+            dv.handle_open("a1", "ctx", "weird_file.nc", now=0.0)
+
+    def test_unknown_context_rejected(self):
+        dv, ctx, _, _ = make_setup()
+        with pytest.raises(ContextError):
+            dv.handle_open("a1", "nope", ctx.filename_of(1), now=0.0)
+
+    def test_unattached_client_rejected(self):
+        dv, ctx, _, _ = make_setup()
+        with pytest.raises(InvalidArgumentError):
+            dv.handle_open("ghost", "ctx", ctx.filename_of(1), now=0.0)
+
+
+class TestPinningThroughOpenClose:
+    def test_open_pins_and_release_unpins(self):
+        dv, ctx, _, _ = make_setup(capacity=4)
+        dv.handle_open("a1", "ctx", ctx.filename_of(2), now=0.0)
+        produce(dv, ctx, [1, 2, 3, 4], now=3.0)
+        state = dv.get_state("ctx")
+        assert state.area.refcount(2) == 1  # pinned for the waiter
+        dv.handle_release("a1", "ctx", ctx.filename_of(2), now=4.0)
+        assert state.area.refcount(2) == 0
+
+    def test_release_without_open_rejected(self):
+        dv, ctx, _, _ = make_setup()
+        produce(dv, ctx, [1], now=0.0)
+        with pytest.raises(InvalidArgumentError):
+            dv.handle_release("a1", "ctx", ctx.filename_of(1), now=1.0)
+
+    def test_pinned_file_survives_eviction_pressure(self):
+        dv, ctx, _, _ = make_setup(capacity=4)
+        dv.handle_open("a1", "ctx", ctx.filename_of(2), now=0.0)
+        produce(dv, ctx, list(range(1, 10)), now=3.0)  # overflow the area
+        state = dv.get_state("ctx")
+        assert 2 in state.area  # held by a1
+
+    def test_disconnect_releases_pins(self):
+        dv, ctx, _, _ = make_setup(capacity=4)
+        dv.handle_open("a1", "ctx", ctx.filename_of(2), now=0.0)
+        produce(dv, ctx, [1, 2, 3, 4], now=3.0)
+        dv.client_disconnect("a1", "ctx", now=5.0)
+        state = dv.get_state("ctx")
+        assert state.area.refcount(2) == 0
+
+
+class TestAcquire:
+    def test_acquire_mixed_availability(self):
+        dv, ctx, ex, _ = make_setup()
+        produce(dv, ctx, [1, 2], now=0.0)
+        results = dv.handle_acquire(
+            "a1",
+            "ctx",
+            [ctx.filename_of(1), ctx.filename_of(2), ctx.filename_of(9)],
+            now=1.0,
+        )
+        assert [r.available for r in results] == [True, True, False]
+        assert len(ex.launched) == 1  # only the missing file needs a sim
+
+
+class TestSmaxQueueing:
+    def test_jobs_beyond_smax_are_queued(self):
+        dv, ctx, ex, _ = make_setup(smax=2)
+        for key in (2, 6, 10, 14):  # four disjoint restart intervals
+            dv.handle_open("a1", "ctx", ctx.filename_of(key), now=0.0)
+        assert len(ex.launched) == 2
+        state = dv.get_state("ctx")
+        assert len(state.pending_jobs) == 2
+
+    def test_queued_job_starts_after_completion(self):
+        dv, ctx, ex, _ = make_setup(smax=1)
+        dv.handle_open("a1", "ctx", ctx.filename_of(2), now=0.0)
+        dv.handle_open("a1", "ctx", ctx.filename_of(6), now=0.0)
+        assert len(ex.launched) == 1
+        produce(dv, ctx, [1, 2, 3, 4], now=3.0)  # completes sim 1
+        assert len(ex.launched) == 2
+        assert ex.launched[1].planned_keys == [5, 6, 7, 8]
+
+    def test_queued_state_reported(self):
+        dv, ctx, _, _ = make_setup(smax=1)
+        dv.handle_open("a1", "ctx", ctx.filename_of(2), now=0.0)
+        result = dv.handle_open("a1", "ctx", ctx.filename_of(6), now=0.0)
+        assert result.state is FileState.QUEUED
+
+    def test_dropped_queued_job_releases_inflight_claims(self):
+        """Regression: a queued job whose keys materialize while waiting
+        must release its in-flight claims, or a later miss on those keys
+        waits for a simulation that never runs."""
+        dv, ctx, ex, _ = make_setup(smax=1, capacity=4)
+        dv.handle_open("a1", "ctx", ctx.filename_of(2), now=0.0)   # runs
+        dv.handle_open("a1", "ctx", ctx.filename_of(6), now=0.0)   # queued
+        # Another production path delivers the queued window's files...
+        produce(dv, ctx, [5, 6, 7, 8], now=1.0)
+        # ...then the running sim completes: the queued job is dropped.
+        produce(dv, ctx, [1, 2, 3, 4], now=2.0)
+        state = dv.get_state("ctx")
+        assert not state.pending_jobs
+        # Evict 6 (capacity 4 already forced evictions) and re-open it:
+        # a fresh demand simulation must launch.
+        dv.handle_release("a1", "ctx", ctx.filename_of(6), now=3.0)
+        dv.handle_release("a1", "ctx", ctx.filename_of(2), now=3.0)
+        if 6 in state.area:
+            state.area.remove(6)
+        result = dv.handle_open("a1", "ctx", ctx.filename_of(6), now=4.0)
+        assert not result.available
+        # The decisive check: a fresh demand simulation now claims the key
+        # (launched, or queued behind smax) — before the fix the stale
+        # claim of the dropped job left the waiter stranded forever.
+        assert 6 in state.in_flight
+        claiming = state.in_flight[6]
+        assert claiming in state.sims or any(
+            s.sim_id == claiming for s in state.pending_jobs
+        )
+
+
+class TestFailures:
+    def test_sim_failure_notifies_waiters_with_error(self):
+        dv, ctx, ex, notes = make_setup()
+        dv.handle_open("a1", "ctx", ctx.filename_of(2), now=0.0)
+        sim = ex.launched[0]
+        failed = dv.sim_failed("ctx", sim.sim_id, now=1.0)
+        assert len(failed) == 1
+        assert not failed[0].ok
+        assert failed[0].client_id == "a1"
+
+    def test_failure_frees_smax_slot(self):
+        dv, ctx, ex, _ = make_setup(smax=1)
+        dv.handle_open("a1", "ctx", ctx.filename_of(2), now=0.0)
+        dv.handle_open("a1", "ctx", ctx.filename_of(6), now=0.0)
+        dv.sim_failed("ctx", ex.launched[0].sim_id, now=1.0)
+        assert len(ex.launched) == 2
+
+
+class TestBitrep:
+    def test_bitrep_matches_and_mismatches(self, tmp_path):
+        dv, ctx, _, _ = make_setup()
+        path = tmp_path / "f.sdf"
+        path.write_bytes(b"SDF-like content")
+        checksum = ctx.driver.checksum(str(path))
+        ctx.record_checksum(ctx.filename_of(1), checksum)
+        assert dv.handle_bitrep("ctx", ctx.filename_of(1), str(path)) is True
+        path.write_bytes(b"corrupted")
+        assert dv.handle_bitrep("ctx", ctx.filename_of(1), str(path)) is False
+
+    def test_bitrep_without_reference(self, tmp_path):
+        dv, ctx, _, _ = make_setup()
+        path = tmp_path / "f.sdf"
+        path.write_bytes(b"x")
+        with pytest.raises(ChecksumUnavailableError):
+            dv.handle_bitrep("ctx", ctx.filename_of(1), str(path))
+
+
+class TestRestartLatencyEstimation:
+    def test_alpha_ema_updates_from_first_output(self):
+        dv, ctx, ex, _ = make_setup()
+        dv.handle_open("a1", "ctx", ctx.filename_of(2), now=0.0)
+        state = dv.get_state("ctx")
+        # First output arrives at t=6: observed alpha = 6 - tau(=1) = 5.
+        # The first observation replaces the configured initial estimate.
+        produce(dv, ctx, [1], now=6.0)
+        assert state.alpha_ema.value == pytest.approx(5.0)
+        # A second simulation's first output folds in with the EMA weight.
+        dv.handle_open("a1", "ctx", ctx.filename_of(6), now=10.0)
+        produce(dv, ctx, [5], now=13.0)  # observed alpha = 3 - 1 = 2
+        assert state.alpha_ema.value == pytest.approx(0.5 * 2.0 + 0.5 * 5.0)
+
+
+class TestPrefetchIntegration:
+    def test_forward_pattern_launches_prefetch_sims(self):
+        dv, ctx, ex, _ = make_setup(prefetch=True)
+        now = 0.0
+        for key in range(1, 9):
+            dv.handle_open("a1", "ctx", ctx.filename_of(key), now=now)
+            produce(dv, ctx, [k for k in range(1, 20) if k == key], now=now)
+            # make sure the demand interval is there
+            state = dv.get_state("ctx")
+            if key not in state.area:
+                produce(dv, ctx, [key], now=now)
+            now += 0.5
+        prefetch_sims = [s for s in ex.launched if s.is_prefetch]
+        assert prefetch_sims, "forward scan must trigger prefetching"
+        # Prefetched extents lie ahead of the scan.
+        assert all(s.start_restart >= 1 for s in prefetch_sims)
+
+    def test_direction_change_kills_orphan_prefetches(self):
+        dv, ctx, ex, _ = make_setup(prefetch=True, smax=16)
+        now = 0.0
+        # Build a confirmed forward pattern over resident files; keys 7+
+        # are missing so the prefetcher has something to launch.
+        produce(dv, ctx, list(range(1, 7)), now=0.0)
+        for key in (1, 2, 3, 4):
+            dv.handle_open("a1", "ctx", ctx.filename_of(key), now=now)
+            now += 0.5
+        assert any(s.is_prefetch for s in ex.launched)
+        # Jump backward: pattern broken; orphan prefetch sims are killed.
+        dv.handle_open("a1", "ctx", ctx.filename_of(3), now=now)
+        assert dv.total_killed_sims > 0
+        assert ex.killed
+
+
+class TestCounters:
+    def test_restart_and_output_counters(self):
+        dv, ctx, ex, _ = make_setup()
+        dv.handle_open("a1", "ctx", ctx.filename_of(2), now=0.0)
+        produce(dv, ctx, [1, 2, 3, 4], now=1.0)
+        assert dv.total_restarts == 1
+        assert dv.total_simulated_outputs == 4

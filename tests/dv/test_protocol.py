@@ -1,0 +1,97 @@
+"""Tests for the DV wire protocol framing."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.dv.protocol import MessageReader, decode_message, encode_message, send_message
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        message = {"op": "open", "req": 3, "file": "a.sdf"}
+        assert decode_message(encode_message(message).strip()) == message
+
+    def test_newline_terminated(self):
+        assert encode_message({"op": "x"}).endswith(b"\n")
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_message({"req": 1})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"[1, 2, 3]")
+
+    def test_unicode_payload(self):
+        message = {"op": "open", "file": "données_α.sdf"}
+        assert decode_message(encode_message(message).strip()) == message
+
+
+class TestMessageReader:
+    def make_pair(self):
+        server, client = socket.socketpair()
+        return server, client
+
+    def test_reads_multiple_messages(self):
+        server, client = self.make_pair()
+        try:
+            send_message(client, {"op": "a", "n": 1})
+            send_message(client, {"op": "b", "n": 2})
+            client.shutdown(socket.SHUT_WR)
+            reader = MessageReader(server)
+            assert reader.read_message()["op"] == "a"
+            assert reader.read_message()["op"] == "b"
+            assert reader.read_message() is None  # orderly EOF
+        finally:
+            server.close()
+            client.close()
+
+    def test_handles_split_frames(self):
+        server, client = self.make_pair()
+        try:
+            blob = encode_message({"op": "open", "file": "x" * 100})
+            result = {}
+
+            def reader_thread():
+                reader = MessageReader(server)
+                result["msg"] = reader.read_message()
+
+            thread = threading.Thread(target=reader_thread)
+            thread.start()
+            for i in range(0, len(blob), 7):  # drip-feed 7-byte chunks
+                client.sendall(blob[i : i + 7])
+            thread.join(timeout=10)
+            assert result["msg"]["file"] == "x" * 100
+        finally:
+            server.close()
+            client.close()
+
+    def test_truncated_message_raises(self):
+        server, client = self.make_pair()
+        try:
+            client.sendall(b'{"op": "open"')  # no newline, then EOF
+            client.shutdown(socket.SHUT_WR)
+            reader = MessageReader(server)
+            with pytest.raises(ProtocolError):
+                reader.read_message()
+        finally:
+            server.close()
+            client.close()
+
+    def test_blank_lines_skipped(self):
+        server, client = self.make_pair()
+        try:
+            client.sendall(b"\n\n" + encode_message({"op": "ping"}))
+            client.shutdown(socket.SHUT_WR)
+            reader = MessageReader(server)
+            assert reader.read_message()["op"] == "ping"
+        finally:
+            server.close()
+            client.close()

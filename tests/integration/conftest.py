@@ -1,0 +1,88 @@
+"""Shared fixtures for full-stack integration tests."""
+
+import os
+
+import pytest
+
+from repro.core.context import ContextConfig, SimulationContext
+from repro.core.perfmodel import PerformanceModel
+from repro.dv.server import DVServer
+from repro.simulators import SyntheticDriver
+
+
+def build_server(
+    tmp_path,
+    name="synth",
+    delta_d=2,
+    delta_r=6,
+    num_timesteps=36,
+    capacity_steps=None,
+    policy="dcl",
+    prefetch=False,
+    smax=8,
+    keep_outputs=(),
+    record_checksums=True,
+):
+    """Build a DVServer with one synthetic context.
+
+    Runs the initial simulation (producing restart files and all outputs),
+    records reference checksums, then deletes every output not listed in
+    ``keep_outputs`` — the 'we cannot store the full output' premise.
+    """
+    output_dir = str(tmp_path / f"{name}-out")
+    restart_dir = str(tmp_path / f"{name}-restart")
+    os.makedirs(output_dir)
+    os.makedirs(restart_dir)
+
+    config = ContextConfig(
+        name=name,
+        delta_d=delta_d,
+        delta_r=delta_r,
+        num_timesteps=num_timesteps,
+        max_storage_bytes=None,
+        replacement_policy=policy,
+        smax=smax,
+        prefetch_enabled=prefetch,
+    )
+    driver = SyntheticDriver(config.geometry, prefix=name, cells=16)
+    perf = PerformanceModel(tau_sim=0.001, alpha_sim=0.0)
+    context = SimulationContext(config=config, driver=driver, perf=perf)
+
+    num_restarts = num_timesteps // delta_r
+    produced = driver.execute(
+        driver.make_job(name, 0, num_restarts, write_restarts=True),
+        output_dir,
+        restart_dir,
+    )
+    if record_checksums:
+        for fname in produced:
+            context.record_checksum(
+                fname, driver.checksum(os.path.join(output_dir, fname))
+            )
+    reference_bytes = {
+        fname: open(os.path.join(output_dir, fname), "rb").read()
+        for fname in produced
+    }
+    for fname in produced:
+        if fname not in keep_outputs:
+            os.unlink(os.path.join(output_dir, fname))
+
+    if capacity_steps is not None:
+        entry = len(next(iter(reference_bytes.values())))
+        config = config.with_overrides(
+            max_storage_bytes=capacity_steps * entry, output_step_bytes=entry
+        )
+        context = SimulationContext(
+            config=config, driver=driver, perf=perf, checksums=context.checksums
+        )
+
+    server = DVServer()
+    server.add_context(context, output_dir, restart_dir)
+    return server, context, reference_bytes
+
+
+@pytest.fixture
+def synth_server(tmp_path):
+    server, context, reference = build_server(tmp_path)
+    yield server, context, reference
+    server.stop()

@@ -1,0 +1,184 @@
+"""Sec. III-E: virtualized simulation pipelines (coarse -> fine cascades).
+
+A fine-grain context whose re-simulations *depend on the output of a
+coarse-grain context*: a miss on the fine stage must recursively trigger
+the coarse stage's re-simulation (Fig. 6), and the archive stage serves
+"re-simulations" by copying from long-term storage.
+"""
+
+import os
+
+import pytest
+
+from repro.client import LocalConnection, SimFSSession
+from repro.core.context import ContextConfig, SimulationContext
+from repro.core.errors import RestartFailedError
+from repro.core.perfmodel import PerformanceModel
+from repro.dv.server import DVServer
+from repro.simulators import ArchiveCopyDriver, PipelineDriver, SyntheticDriver
+
+PERF = PerformanceModel(tau_sim=0.001, alpha_sim=0.0)
+
+
+def make_context(name, driver, **overrides):
+    config = ContextConfig(
+        name=name, delta_d=2, delta_r=8, num_timesteps=64,
+        prefetch_enabled=False, **overrides,
+    )
+    return SimulationContext(config=config, driver=driver, perf=PERF)
+
+
+@pytest.fixture
+def pipeline(tmp_path):
+    """Two-stage pipeline: coarse (synthetic) -> fine (synthetic whose jobs
+    need the coarse outputs covering their window)."""
+    dirs = {}
+    for stage in ("coarse", "fine"):
+        dirs[stage] = (
+            str(tmp_path / f"{stage}-out"),
+            str(tmp_path / f"{stage}-restart"),
+        )
+        for d in dirs[stage]:
+            os.makedirs(d)
+
+    coarse_driver = SyntheticDriver(
+        ContextConfig(name="coarse", delta_d=2, delta_r=8,
+                      num_timesteps=64).geometry,
+        prefix="coarse", cells=8,
+    )
+    coarse = make_context("coarse", coarse_driver)
+    # Initial coarse run: keep only restarts.
+    produced = coarse_driver.execute(
+        coarse_driver.make_job("coarse", 0, 8, write_restarts=True), *dirs["coarse"]
+    )
+    for fname in produced:
+        os.unlink(os.path.join(dirs["coarse"][0], fname))
+
+    fine_geo = ContextConfig(name="fine", delta_d=2, delta_r=8,
+                             num_timesteps=64).geometry
+
+    def inputs_for(job):
+        # The fine job needs every coarse output step in its window.
+        return [
+            coarse_driver.filename(k)
+            for k in fine_geo.outputs_between_restarts(
+                job.start_restart, job.stop_restart
+            )
+        ]
+
+    fine_driver = PipelineDriver(
+        SyntheticDriver(fine_geo, prefix="fine", cells=8),
+        upstream_context="coarse",
+        inputs_for=inputs_for,
+        input_timeout=30.0,
+    )
+    fine = make_context("fine", fine_driver)
+    fine_produced = fine_driver.base.execute(
+        fine_driver.base.make_job("fine", 0, 8, write_restarts=True), *dirs["fine"]
+    )
+    for fname in fine_produced:
+        os.unlink(os.path.join(dirs["fine"][0], fname))
+
+    server = DVServer()
+    server.add_context(coarse, *dirs["coarse"])
+    server.add_context(fine, *dirs["fine"])
+    # The fine stage reaches the coarse stage through its own connection
+    # (the DV acting as a client of the upstream stage, Fig. 6).
+    stage_conn = LocalConnection(server, client_id="fine-stage")
+    stage_conn.attach("coarse")
+    fine_driver.bind_connection(stage_conn)
+    yield server, coarse, fine
+    server.stop()
+    server.launcher.wait_all()
+
+
+class TestPipelineCascade:
+    def test_fine_miss_triggers_coarse_resimulation(self, pipeline):
+        server, coarse, fine = pipeline
+        with LocalConnection(server) as conn:
+            with SimFSSession(conn, "fine") as session:
+                fname = fine.filename_of(6)
+                status = session.acquire([fname], timeout=30.0)
+                assert status.ok
+        server.launcher.wait_all()
+        # Both stages re-simulated: the fine demand job plus the coarse
+        # job its inputs cascaded into.
+        coarse_state = server.coordinator.get_state("coarse")
+        fine_state = server.coordinator.get_state("fine")
+        assert len(fine_state.area) > 0
+        assert len(coarse_state.area) > 0
+        assert server.coordinator.total_restarts >= 2
+
+    def test_warm_coarse_stage_not_resimulated_again(self, pipeline):
+        server, coarse, fine = pipeline
+        with LocalConnection(server) as conn:
+            with SimFSSession(conn, "fine") as session:
+                session.acquire([fine.filename_of(6)], timeout=30.0)
+                server.launcher.wait_all()
+                restarts_after_first = server.coordinator.total_restarts
+                # A second fine file in the same window: coarse inputs are
+                # already cached, only the fine stage re-runs (if at all).
+                session.acquire([fine.filename_of(7)], timeout=30.0)
+                server.launcher.wait_all()
+                assert (
+                    server.coordinator.total_restarts
+                    <= restarts_after_first + 1
+                )
+
+
+class TestArchiveCopyStage:
+    def test_copy_driver_copies_from_archive(self, tmp_path):
+        geo = ContextConfig(name="arch", delta_d=2, delta_r=8,
+                            num_timesteps=64).geometry
+        archive = tmp_path / "tape"
+        archive.mkdir()
+        # Long-term storage holds the full dataset.
+        source_driver = SyntheticDriver(geo, prefix="arch", cells=8)
+        rst = tmp_path / "rst"
+        rst.mkdir()
+        source_driver.execute(
+            source_driver.make_job("arch", 0, 8, write_restarts=True),
+            str(archive), str(rst),
+        )
+
+        driver = ArchiveCopyDriver(geo, str(archive), prefix="arch")
+        context = make_context("arch", driver)
+        out = tmp_path / "arch-out"
+        out.mkdir()
+        server = DVServer()
+        server.add_context(context, str(out), str(rst))
+        # add_context indexed the archive? no: out/ is empty.
+        try:
+            with LocalConnection(server) as conn:
+                with SimFSSession(conn, "arch") as session:
+                    fname = context.filename_of(5)
+                    status = session.acquire([fname], timeout=30.0)
+                    assert status.ok
+                    copied = (out / fname).read_bytes()
+                    original = (archive / fname).read_bytes()
+                    assert copied == original
+        finally:
+            server.stop()
+            server.launcher.wait_all()
+
+    def test_missing_archive_file_fails_cleanly(self, tmp_path):
+        geo = ContextConfig(name="arch", delta_d=2, delta_r=8,
+                            num_timesteps=64).geometry
+        empty_archive = tmp_path / "empty"
+        empty_archive.mkdir()
+        driver = ArchiveCopyDriver(geo, str(empty_archive), prefix="arch")
+        context = make_context("arch", driver)
+        out, rst = tmp_path / "o", tmp_path / "r"
+        out.mkdir(), rst.mkdir()
+        server = DVServer()
+        server.add_context(context, str(out), str(rst))
+        try:
+            with LocalConnection(server) as conn:
+                with SimFSSession(conn, "arch") as session:
+                    status = session.acquire(
+                        [context.filename_of(5)], timeout=10.0
+                    )
+                    assert not status.ok  # restart-failed propagated
+        finally:
+            server.stop()
+            server.launcher.wait_all()

@@ -1,0 +1,103 @@
+"""Transparent-mode *simulator* role: an external simulator process whose
+creates are redirected into the storage area and whose write-closes signal
+the DV (Fig. 4 steps 4-5), without the in-process launcher."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.client import LocalConnection, SimFSSession, VirtualizedHooks
+from repro.core.context import ContextConfig, SimulationContext
+from repro.core.errors import ContextError
+from repro.core.perfmodel import PerformanceModel
+from repro.dv.server import DVServer
+from repro.simio import install_hooks, sio_create
+from repro.simulators import SyntheticDriver, run_simulation
+
+
+@pytest.fixture
+def server(tmp_path):
+    config = ContextConfig(
+        name="ext", delta_d=2, delta_r=8, num_timesteps=32,
+        prefetch_enabled=False,
+    )
+    driver = SyntheticDriver(config.geometry, prefix="ext", cells=8)
+    context = SimulationContext(
+        config=config, driver=driver,
+        perf=PerformanceModel(tau_sim=0.001, alpha_sim=0.0),
+    )
+    out = tmp_path / "out"
+    rst = tmp_path / "restart"
+    out.mkdir(), rst.mkdir()
+    srv = DVServer()
+    srv.add_context(context, str(out), str(rst))
+    yield srv, context, driver
+    srv.stop()
+
+
+class TestSimulatorRole:
+    def test_creates_redirected_and_closes_notified(self, server, tmp_path):
+        srv, context, driver = server
+        # An analysis waits for a file that no launcher will produce...
+        analysis_conn = LocalConnection(srv, client_id="analysis")
+        session = SimFSSession(analysis_conn, "ext")
+        _status, request = session.acquire_nb([context.filename_of(2)])
+        assert not request.complete
+
+        # ...until an "external" simulator runs with simulator-role hooks:
+        # it writes to its own scratch paths, which get redirected.
+        sim_conn = LocalConnection(srv, client_id="external-sim")
+        hooks = VirtualizedHooks(
+            sim_conn, driver.naming, context="ext", role="simulator"
+        )
+        previous = install_hooks(hooks)
+        try:
+            scratch = str(tmp_path / "scratch")
+            os.makedirs(scratch)
+            run_simulation(
+                driver.simulator, context.geometry, 0, 1,
+                scratch, scratch,
+                output_name=driver.naming.filename,
+                restart_name=driver.naming.restart_filename,
+            )
+        finally:
+            install_hooks(previous)
+
+        # The write-closes notified the DV: the analysis unblocked.
+        final = session.wait(request, timeout=10.0)
+        assert final.ok
+        # And the files physically live in the storage area, not scratch.
+        storage = srv.launcher._contexts["ext"].output_dir
+        assert os.path.exists(os.path.join(storage, context.filename_of(2)))
+        assert not os.path.exists(
+            os.path.join(str(tmp_path / "scratch"), context.filename_of(2))
+        )
+
+    def test_non_context_files_pass_through(self, server, tmp_path):
+        srv, context, driver = server
+        conn = LocalConnection(srv, client_id="sim2")
+        hooks = VirtualizedHooks(
+            conn, driver.naming, context="ext", role="simulator"
+        )
+        previous = install_hooks(hooks)
+        try:
+            private = str(tmp_path / "diagnostics.sdf")
+            with sio_create(private) as out:
+                out.write("x", np.ones(3))
+            assert os.path.exists(private)  # untouched by virtualization
+        finally:
+            install_hooks(previous)
+
+    def test_unknown_role_rejected(self, server):
+        srv, context, driver = server
+        conn = LocalConnection(srv, client_id="x")
+        with pytest.raises(ContextError):
+            VirtualizedHooks(conn, driver.naming, context="ext", role="weird")
+
+    def test_env_context_required(self, server, monkeypatch):
+        srv, context, driver = server
+        monkeypatch.delenv("SIMFS_CONTEXT", raising=False)
+        conn = LocalConnection(srv, client_id="y")
+        with pytest.raises(ContextError):
+            VirtualizedHooks(conn, driver.naming)  # no context, no env var

@@ -1,0 +1,206 @@
+"""Tests for the prefetch agent state machine."""
+
+import pytest
+
+from repro.core.context import ContextConfig
+from repro.core.perfmodel import PerformanceModel, ScalingModel
+from repro.prefetch import PrefetchAgent
+from repro.util.ema import ExponentialMovingAverage
+
+
+def make_agent(
+    delta_d=1,
+    delta_r=4,
+    num_timesteps=400,
+    tau_sim=1.0,
+    alpha=2.0,
+    smax=8,
+    ramp=True,
+    levels=(1,),
+    prefetch_enabled=True,
+):
+    config = ContextConfig(
+        name="ctx",
+        delta_d=delta_d,
+        delta_r=delta_r,
+        num_timesteps=num_timesteps,
+        smax=smax,
+        prefetch_ramp_doubling=ramp,
+        prefetch_enabled=prefetch_enabled,
+    )
+    perf = PerformanceModel(
+        tau_sim=tau_sim,
+        alpha_sim=alpha,
+        nodes_per_level=levels,
+        scaling=ScalingModel(serial_fraction=0.0),
+    )
+    ema = ExponentialMovingAverage(0.5, initial=alpha)
+    # Seed the estimator as if one restart was already observed.
+    ema.observe(alpha)
+    return PrefetchAgent(config, perf, ema)
+
+
+def drive_forward(agent, keys, dt=0.5, hits=None, start=0.0):
+    """Feed accesses; returns list of (key, decision)."""
+    out = []
+    t = start
+    for idx, key in enumerate(keys):
+        hit = True if hits is None else hits[idx]
+        out.append((key, agent.observe_access(key, t, hit)))
+        t += dt
+    return out
+
+
+class TestForwardPrefetching:
+    def test_no_launch_before_confirmation(self):
+        agent = make_agent()
+        results = drive_forward(agent, [1, 2])
+        assert all(not decision.launch for _, decision in results)
+
+    def test_launch_after_confirmation(self):
+        agent = make_agent()
+        agent.note_demand_job(0, 1)  # the DV served the first miss
+        results = drive_forward(agent, [1, 2, 3, 4, 5, 6, 7, 8])
+        launches = [a for _, d in results for a in d.launch]
+        assert launches, "confirmed forward pattern must trigger prefetching"
+
+    def test_coverage_is_contiguous(self):
+        agent = make_agent()
+        agent.note_demand_job(0, 1)
+        results = drive_forward(agent, list(range(1, 40)))
+        extents = sorted(
+            (a.start_restart, a.stop_restart)
+            for _, d in results
+            for a in d.launch
+        )
+        # Starting from the demand job's edge (restart 1), extents tile the
+        # timeline without gaps or overlaps.
+        edge = 1
+        for start, stop in extents:
+            assert start == edge
+            edge = stop
+
+    def test_ramp_doubling(self):
+        agent = make_agent(ramp=True, smax=8, tau_sim=1.0)
+        agent.note_demand_job(0, 1)
+        results = drive_forward(agent, list(range(1, 60)), dt=0.25)  # s_opt = 4
+        batch_sizes = [len(d.launch) for _, d in results if d.launch]
+        assert batch_sizes[0] == 1
+        assert max(batch_sizes) <= 4  # capped at s_opt
+        assert sorted(set(batch_sizes)) == sorted(set([1, 2, 4]) & set(batch_sizes))
+
+    def test_no_ramp_launches_sopt_directly(self):
+        agent = make_agent(ramp=False)
+        agent.note_demand_job(0, 1)
+        results = drive_forward(agent, list(range(1, 20)), dt=0.5)  # s_opt = 2
+        batch_sizes = [len(d.launch) for _, d in results if d.launch]
+        assert batch_sizes[0] == 2
+
+    def test_smax_caps_batches(self):
+        agent = make_agent(ramp=False, smax=2, tau_sim=8.0)  # s_opt = 16
+        agent.note_demand_job(0, 1)
+        results = drive_forward(agent, list(range(1, 30)), dt=0.5)
+        batch_sizes = [len(d.launch) for _, d in results if d.launch]
+        assert max(batch_sizes) <= 2
+
+    def test_never_prefetches_past_simulation_end(self):
+        agent = make_agent(num_timesteps=40)  # 10 restarts
+        agent.note_demand_job(0, 1)
+        results = drive_forward(agent, list(range(1, 41)))
+        for _, decision in results:
+            for action in decision.launch:
+                assert action.stop_restart <= 10
+
+    def test_prefetch_disabled(self):
+        agent = make_agent(prefetch_enabled=False)
+        agent.note_demand_job(0, 1)
+        results = drive_forward(agent, list(range(1, 30)))
+        assert all(not d.launch for _, d in results)
+
+
+class TestStrategy1:
+    def test_parallelism_level_raised_when_analysis_faster(self):
+        agent = make_agent(levels=(100, 200, 400), tau_sim=4.0)
+        agent.note_demand_job(0, 1)
+        drive_forward(agent, list(range(1, 10)), dt=0.5)
+        assert agent.level > 0
+
+    def test_level_not_raised_when_simulation_keeps_up(self):
+        agent = make_agent(levels=(100, 200), tau_sim=0.1)
+        agent.note_demand_job(0, 1)
+        drive_forward(agent, list(range(1, 10)), dt=0.5)
+        assert agent.level == 0
+
+
+class TestBackwardPrefetching:
+    def test_backward_launches_below_coverage(self):
+        agent = make_agent()
+        results = drive_forward(agent, list(range(80, 40, -1)), dt=0.5)
+        launches = [a for _, d in results for a in d.launch]
+        assert launches
+        # Every extent sits below the first miss' restart interval.
+        assert all(a.stop_restart <= 20 for a in launches)
+
+    def test_backward_coverage_descends_contiguously(self):
+        agent = make_agent()
+        results = drive_forward(agent, list(range(80, 20, -1)), dt=0.5)
+        extents = [
+            (a.start_restart, a.stop_restart)
+            for _, d in results
+            for a in d.launch
+        ]
+        edge = extents[0][1]
+        for start, stop in extents:
+            assert stop == edge
+            edge = start
+
+    def test_backward_stops_at_time_zero(self):
+        agent = make_agent()
+        results = drive_forward(agent, list(range(20, 0, -1)), dt=0.5)
+        for _, d in results:
+            for a in d.launch:
+                assert a.start_restart >= 0
+
+    def test_slow_backward_analysis_single_sims(self):
+        # tau_cli=3 > tau_sim=1: one sim at a time suffices (Sec. IV-B2).
+        agent = make_agent()
+        results = drive_forward(agent, list(range(60, 30, -1)), dt=3.0)
+        batch_sizes = [len(d.launch) for _, d in results if d.launch]
+        assert batch_sizes and max(batch_sizes) == 1
+
+
+class TestResets:
+    def test_direction_change_breaks_pattern(self):
+        agent = make_agent()
+        agent.note_demand_job(0, 1)
+        drive_forward(agent, [1, 2, 3, 4])
+        decision = agent.observe_access(3, 10.0, True)
+        assert decision.pattern_broken
+
+    def test_pollution_signal(self):
+        agent = make_agent()
+        agent.note_demand_job(0, 1)
+        results = drive_forward(agent, list(range(1, 10)))
+        prefetched = agent.prefetched_keys
+        assert prefetched
+        victim = max(prefetched)
+        # The analysis reaches a prefetched step and misses: pollution.
+        t = 100.0
+        decision = agent.observe_access(victim, t, False)
+        assert decision.pollution
+
+    def test_reset_clears_state(self):
+        agent = make_agent()
+        agent.note_demand_job(0, 1)
+        drive_forward(agent, list(range(1, 10)))
+        agent.reset()
+        assert not agent.prefetched_keys
+        assert not agent.detector.confirmed
+
+    def test_hit_on_prefetched_step_is_not_pollution(self):
+        agent = make_agent()
+        agent.note_demand_job(0, 1)
+        results = drive_forward(agent, list(range(1, 10)))
+        prefetched = agent.prefetched_keys
+        decision = agent.observe_access(min(prefetched), 50.0, True)
+        assert not decision.pollution

@@ -1,0 +1,103 @@
+"""Tests for access-pattern detection."""
+
+import pytest
+
+from repro.core.errors import InvalidArgumentError
+from repro.prefetch import Direction, PatternDetector
+
+
+def feed(detector, keys, dt=1.0, start=0.0):
+    state = None
+    t = start
+    for key in keys:
+        state = detector.observe(key, t)
+        t += dt
+    return state
+
+
+class TestDetection:
+    def test_not_confirmed_with_two_accesses(self):
+        det = PatternDetector()
+        state = feed(det, [5, 6])
+        assert not state.confirmed
+        assert state.direction is Direction.FORWARD
+
+    def test_forward_confirmed_after_two_equal_strides(self):
+        det = PatternDetector()
+        state = feed(det, [5, 6, 7])
+        assert state.confirmed
+        assert state.direction is Direction.FORWARD
+        assert state.stride == 1
+
+    def test_backward_confirmed(self):
+        det = PatternDetector()
+        state = feed(det, [30, 27, 24])
+        assert state.confirmed
+        assert state.direction is Direction.BACKWARD
+        assert state.stride == 3
+
+    def test_strided_forward(self):
+        det = PatternDetector()
+        state = feed(det, [10, 14, 18, 22])
+        assert state.confirmed and state.stride == 4
+
+    def test_direction_change_resets(self):
+        det = PatternDetector()
+        state = feed(det, [1, 2, 3, 2])
+        assert state.just_reset
+        assert not state.confirmed
+        assert state.direction is None
+
+    def test_stride_change_resets(self):
+        det = PatternDetector()
+        state = feed(det, [1, 2, 3, 5])
+        assert state.just_reset
+        assert not state.confirmed
+
+    def test_pattern_reestablished_after_reset(self):
+        det = PatternDetector()
+        state = feed(det, [1, 2, 3, 10, 9, 8])
+        assert state.confirmed
+        assert state.direction is Direction.BACKWARD
+        assert state.stride == 1
+
+    def test_repeated_access_does_not_break_pattern(self):
+        det = PatternDetector()
+        state = feed(det, [1, 2, 2, 3])
+        assert state.confirmed
+        assert not state.just_reset
+
+    def test_explicit_reset(self):
+        det = PatternDetector()
+        feed(det, [1, 2, 3])
+        det.reset()
+        assert not det.confirmed
+        assert det.direction is None
+        assert det.tau_cli is None
+
+
+class TestTauCli:
+    def test_constant_interval_measured(self):
+        det = PatternDetector()
+        state = feed(det, [1, 2, 3, 4], dt=0.5)
+        assert state.tau_cli == pytest.approx(0.5)
+
+    def test_ema_tracks_changes(self):
+        det = PatternDetector(ema_smoothing=1.0)  # keep only latest
+        det.observe(1, 0.0)
+        det.observe(2, 1.0)
+        state = det.observe(3, 1.2)
+        assert state.tau_cli == pytest.approx(0.2)
+
+    def test_reset_clears_tau(self):
+        det = PatternDetector()
+        feed(det, [1, 2, 3])
+        state = det.observe(100, 3.0)  # jump: reset
+        assert state.just_reset
+        assert state.tau_cli is None
+
+    def test_time_going_backwards_rejected(self):
+        det = PatternDetector()
+        det.observe(1, 5.0)
+        with pytest.raises(InvalidArgumentError):
+            det.observe(2, 4.0)

@@ -1,0 +1,151 @@
+"""Planner formula tests, pinned to the paper's worked examples.
+
+Figs. 7-10 use αsim = 2, τsim = 1, τcli = 1/2, k = 1 on a geometry with
+Δd = 1 and Δr = 4 (one output per timestep, restart every 4).
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidArgumentError
+from repro.core.steps import StepGeometry
+from repro.prefetch import planner
+
+GEO = StepGeometry(delta_d=1, delta_r=4)
+ALPHA, TAU_SIM, TAU_CLI, K = 2.0, 1.0, 0.5, 1
+
+
+class TestPaperExamples:
+    def test_forward_resim_length_fig8(self):
+        # per-step time = max(1, 0.5) = 1; n >= ceil(2/1 + 2) = 4 -> one
+        # restart interval, exactly the 4-output SIMs of Fig. 8.
+        n = planner.forward_resim_length(ALPHA, TAU_SIM, TAU_CLI, K, GEO)
+        assert n == 4
+
+    def test_forward_prefetch_step_fig8(self):
+        n = planner.forward_resim_length(ALPHA, TAU_SIM, TAU_CLI, K, GEO)
+        # d_i + n - ceil(alpha/per_step)*k = 1 + 4 - 2 = 3.
+        assert planner.forward_prefetch_step(1, n, ALPHA, TAU_SIM, TAU_CLI, K) == 3
+
+    def test_s_opt_fig9(self):
+        # The analysis consumes twice as fast as production: s_opt = 2.
+        assert planner.s_opt_forward(TAU_SIM, TAU_CLI, K) == 2
+
+    def test_backward_parallel_sims_fig10(self):
+        # s = k*alpha/(n*tau_cli) + k*tau_sim/tau_cli = 1 + 2 = 3 (Fig. 10).
+        assert planner.backward_parallel_sims(ALPHA, TAU_SIM, TAU_CLI, K, n=4) == 3
+
+    def test_forward_warmup(self):
+        # T_pre = alpha + max(2*tau+alpha, 4*tau) + n*tau = 2 + 4 + 4 = 10.
+        assert planner.forward_warmup_time(ALPHA, TAU_SIM, 4, GEO) == pytest.approx(10.0)
+
+
+class TestForwardResimLength:
+    def test_slow_analysis_shrinks_n(self):
+        # If the analysis is the bottleneck, fewer steps cover the latency.
+        fast = planner.forward_resim_length(10.0, 1.0, 0.1, 1, GEO)
+        slow = planner.forward_resim_length(10.0, 1.0, 5.0, 1, GEO)
+        assert slow < fast
+
+    def test_zero_latency_minimal(self):
+        n = planner.forward_resim_length(0.0, 1.0, 1.0, 1, GEO)
+        assert n == 4  # ceil(0 + 2) = 2, rounded up to one interval
+
+    def test_stride_scales_n(self):
+        n1 = planner.forward_resim_length(8.0, 1.0, 0.5, 1, GEO)
+        n3 = planner.forward_resim_length(8.0, 1.0, 0.5, 3, GEO)
+        assert n3 >= n1
+
+    def test_validation(self):
+        with pytest.raises(InvalidArgumentError):
+            planner.forward_resim_length(-1.0, 1.0, 1.0, 1, GEO)
+        with pytest.raises(InvalidArgumentError):
+            planner.forward_resim_length(1.0, 0.0, 1.0, 1, GEO)
+
+
+class TestBackward:
+    def test_slower_analysis_required(self):
+        with pytest.raises(InvalidArgumentError):
+            planner.backward_resim_length(2.0, 1.0, 0.5, 1, GEO)
+
+    def test_length_formula(self):
+        # n = ceil(k*alpha/(tau_cli - k*tau_sim)) = ceil(2/(3-1)) = 1 -> 4.
+        n = planner.backward_resim_length(2.0, 1.0, 3.0, 1, GEO)
+        assert n == 4
+
+    def test_longer_latency_longer_resim(self):
+        n_short = planner.backward_resim_length(2.0, 1.0, 1.5, 1, GEO)
+        n_long = planner.backward_resim_length(50.0, 1.0, 1.5, 1, GEO)
+        assert n_long > n_short
+
+    def test_s_n_tradeoff(self):
+        # Larger n needs fewer parallel sims (the paper's s-n tradeoff).
+        s4 = planner.backward_parallel_sims(8.0, 1.0, 0.5, 1, n=4)
+        s16 = planner.backward_parallel_sims(8.0, 1.0, 0.5, 1, n=16)
+        assert s16 <= s4
+
+    def test_backward_warmup_distance_dependence(self):
+        t_near = planner.backward_warmup_time(2.0, 1.0, 0.5, 4, first_miss_distance=1)
+        t_far = planner.backward_warmup_time(2.0, 1.0, 0.5, 4, first_miss_distance=4)
+        assert t_far > t_near
+
+
+class TestReferenceTimes:
+    def test_single_simulation_time(self):
+        assert planner.single_simulation_time(13.0, 3.0, 72) == pytest.approx(229.0)
+
+    def test_lower_bound_below_single(self):
+        single = planner.single_simulation_time(13.0, 3.0, 72)
+        lower = planner.lower_bound_time(13.0, 3.0, 72, smax=8)
+        assert lower < single
+
+    def test_forward_analysis_time_reduces_with_s(self):
+        t1 = planner.forward_analysis_time(13.0, 3.0, 12, 288, 1, GEO)
+        t8 = planner.forward_analysis_time(13.0, 3.0, 12, 288, 8, GEO)
+        assert t8 < t1
+
+    def test_forward_analysis_time_warmup_floor(self):
+        # m <= n: the warm-up dominates regardless of s.
+        t = planner.forward_analysis_time(13.0, 3.0, 48, 12, 8, GEO)
+        assert t == pytest.approx(planner.forward_warmup_time(13.0, 3.0, 48, GEO))
+
+
+@given(
+    alpha=st.floats(min_value=0.0, max_value=1000.0),
+    tau_sim=st.floats(min_value=0.01, max_value=50.0),
+    tau_cli=st.floats(min_value=0.01, max_value=50.0),
+    k=st.integers(min_value=1, max_value=8),
+)
+def test_forward_resim_length_masks_latency(alpha, tau_sim, tau_cli, k):
+    """The defining inequality of Sec. IV-B1a:
+    (floor(n/k) - 2) * max(k*tau_sim, tau_cli) >= alpha."""
+    n = planner.forward_resim_length(alpha, tau_sim, tau_cli, k, GEO)
+    per_step = max(k * tau_sim, tau_cli)
+    assert (n // k - 2) * per_step >= alpha - 1e-6
+    assert n % 4 == 0  # whole restart intervals on this geometry
+
+
+@given(
+    alpha=st.floats(min_value=0.0, max_value=1000.0),
+    tau_sim=st.floats(min_value=0.01, max_value=50.0),
+    tau_cli=st.floats(min_value=0.01, max_value=50.0),
+    k=st.integers(min_value=1, max_value=8),
+    n=st.integers(min_value=1, max_value=100),
+)
+def test_backward_parallel_sims_satisfies_inequality(alpha, tau_sim, tau_cli, k, n):
+    """s*n/k * tau_cli >= alpha + n*tau_sim (Sec. IV-B2)."""
+    s = planner.backward_parallel_sims(alpha, tau_sim, tau_cli, k, n)
+    assert s * n / k * tau_cli >= alpha + n * tau_sim - 1e-6
+
+
+@given(
+    alpha=st.floats(min_value=0.0, max_value=100.0),
+    tau_sim=st.floats(min_value=0.01, max_value=10.0),
+    m=st.integers(min_value=1, max_value=10_000),
+    smax=st.integers(min_value=1, max_value=64),
+)
+def test_lower_bound_is_a_lower_bound(alpha, tau_sim, m, smax):
+    assert planner.lower_bound_time(alpha, tau_sim, m, smax) <= (
+        planner.single_simulation_time(alpha, tau_sim, m) + 1e-9
+    )

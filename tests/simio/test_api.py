@@ -1,0 +1,128 @@
+"""Tests for the hookable file-handle I/O API."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidArgumentError, SimFSError
+from repro.simio import current_hooks, install_hooks, sio_create, sio_open
+
+
+@pytest.fixture(autouse=True)
+def restore_hooks():
+    previous = install_hooks(None)
+    yield
+    install_hooks(previous)
+
+
+class RecordingHooks:
+    """Hooks that record every interception and can redirect creates."""
+
+    def __init__(self, redirect_dir=None):
+        self.events = []
+        self.redirect_dir = redirect_dir
+
+    def on_open(self, path):
+        self.events.append(("open", path))
+        return path
+
+    def on_create(self, path):
+        self.events.append(("create", path))
+        if self.redirect_dir is not None:
+            import os
+
+            return os.path.join(self.redirect_dir, os.path.basename(path))
+        return path
+
+    def on_close(self, path, mode):
+        self.events.append(("close", path, mode))
+
+
+class TestPlainIO:
+    def test_write_then_read(self, tmp_path):
+        path = str(tmp_path / "step.sdf")
+        with sio_create(path) as out:
+            out.write("field", np.arange(6.0))
+            out.set_attrs(timestep=10)
+        with sio_open(path) as fh:
+            np.testing.assert_array_equal(fh.read("field"), np.arange(6.0))
+            assert fh.attrs()["timestep"] == 10
+            assert fh.variables() == ["field"]
+
+    def test_read_missing_variable(self, tmp_path):
+        path = str(tmp_path / "x.sdf")
+        with sio_create(path) as out:
+            out.write("a", np.zeros(2))
+        with sio_open(path) as fh:
+            with pytest.raises(SimFSError):
+                fh.read("nope")
+
+    def test_write_to_readonly_rejected(self, tmp_path):
+        path = str(tmp_path / "x.sdf")
+        with sio_create(path) as out:
+            out.write("a", np.zeros(2))
+        with sio_open(path) as fh:
+            with pytest.raises(SimFSError):
+                fh.write("b", np.ones(2))
+            with pytest.raises(SimFSError):
+                fh.set_attrs(z=1)
+
+    def test_use_after_close_rejected(self, tmp_path):
+        path = str(tmp_path / "x.sdf")
+        out = sio_create(path)
+        out.write("a", np.zeros(2))
+        out.close()
+        with pytest.raises(SimFSError):
+            out.read("a")
+
+    def test_close_idempotent(self, tmp_path):
+        path = str(tmp_path / "x.sdf")
+        out = sio_create(path)
+        out.close()
+        out.close()
+        assert out.closed
+
+    def test_bad_mode_rejected(self, tmp_path):
+        from repro.simio.api import DataFile
+
+        with pytest.raises(InvalidArgumentError):
+            DataFile("x", "a", "x")
+
+
+class TestHooks:
+    def test_create_and_close_intercepted(self, tmp_path):
+        hooks = RecordingHooks()
+        install_hooks(hooks)
+        path = str(tmp_path / "f.sdf")
+        with sio_create(path) as out:
+            out.write("x", np.ones(1))
+        assert hooks.events == [("create", path), ("close", path, "w")]
+
+    def test_open_and_close_intercepted(self, tmp_path):
+        path = str(tmp_path / "f.sdf")
+        with sio_create(path) as out:
+            out.write("x", np.ones(1))
+        hooks = RecordingHooks()
+        install_hooks(hooks)
+        with sio_open(path):
+            pass
+        assert hooks.events == [("open", path), ("close", path, "r")]
+
+    def test_create_redirection(self, tmp_path):
+        storage = tmp_path / "storage"
+        storage.mkdir()
+        hooks = RecordingHooks(redirect_dir=str(storage))
+        install_hooks(hooks)
+        logical = str(tmp_path / "out.sdf")
+        with sio_create(logical) as out:
+            out.write("x", np.ones(3))
+        assert (storage / "out.sdf").exists()
+        assert not (tmp_path / "out.sdf").exists()
+
+    def test_install_returns_previous(self):
+        first = RecordingHooks()
+        base = install_hooks(first)
+        second = RecordingHooks()
+        prev = install_hooks(second)
+        assert prev is first
+        assert current_hooks() is second
+        install_hooks(base)

@@ -1,0 +1,229 @@
+"""Tests for the simulator substrates.
+
+The decisive property is the paper's bitwise-reproducibility requirement:
+restarting from a checkpoint and re-running must produce byte-identical
+output files.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidArgumentError
+from repro.core.steps import StepGeometry
+from repro.simulators import (
+    CosmoDriver,
+    CosmoSimulator,
+    FlashDriver,
+    FlashSimulator,
+    SyntheticDriver,
+    SyntheticSimulator,
+)
+
+GEO = StepGeometry(delta_d=2, delta_r=6, num_timesteps=24)
+
+
+def make_driver(cls, prefix, **kw):
+    return cls(GEO, prefix=prefix, **kw)
+
+
+DRIVERS = [
+    (SyntheticDriver, "synth", {"cells": 32}),
+    (CosmoDriver, "cosmo", {"nx": 16, "ny": 12}),
+    (FlashDriver, "flash", {"cells": 64}),
+]
+
+
+@pytest.mark.parametrize("cls,prefix,kw", DRIVERS)
+class TestDriverExecution:
+    def test_initial_run_produces_all_files(self, tmp_path, cls, prefix, kw):
+        driver = make_driver(cls, prefix, **kw)
+        out = tmp_path / "out"
+        rst = tmp_path / "restart"
+        out.mkdir(), rst.mkdir()
+        job = driver.make_job("ctx", 0, 4, write_restarts=True)
+        produced = driver.execute(job, str(out), str(rst))
+        # 24 timesteps, Δd=2 -> 12 outputs; Δr=6 -> 4 restarts
+        assert len(produced) == 12
+        assert produced == [driver.filename(i) for i in range(1, 13)]
+        assert sorted(os.listdir(out)) == sorted(produced)
+        assert sorted(os.listdir(rst)) == [
+            driver.restart_filename(j) for j in range(1, 5)
+        ]
+
+    def test_bitwise_restart_reproducibility(self, tmp_path, cls, prefix, kw):
+        """Re-simulating a window from its checkpoint reproduces the exact
+        bytes the initial run wrote (the SimFS core requirement)."""
+        driver = make_driver(cls, prefix, **kw)
+        out1, rst = tmp_path / "out1", tmp_path / "restart"
+        out1.mkdir(), rst.mkdir()
+        driver.execute(driver.make_job("ctx", 0, 4, write_restarts=True), str(out1), str(rst))
+
+        out2 = tmp_path / "out2"
+        out2.mkdir()
+        produced = driver.execute(driver.make_job("ctx", 2, 3), str(out2), str(rst))
+        # window (12, 18] with Δd=2 -> outputs d7, d8, d9
+        assert produced == [driver.filename(i) for i in (7, 8, 9)]
+        for name in produced:
+            original = (out1 / name).read_bytes()
+            recomputed = (out2 / name).read_bytes()
+            assert original == recomputed, f"{name} differs after restart"
+
+    def test_checksums_stable(self, tmp_path, cls, prefix, kw):
+        driver = make_driver(cls, prefix, **kw)
+        out, rst = tmp_path / "out", tmp_path / "rst"
+        out.mkdir(), rst.mkdir()
+        produced = driver.execute(
+            driver.make_job("ctx", 0, 1, write_restarts=True), str(out), str(rst)
+        )
+        sums1 = {n: driver.checksum(str(out / n)) for n in produced}
+        out2 = tmp_path / "out_again"
+        out2.mkdir()
+        driver.execute(driver.make_job("ctx", 0, 1), str(out2), str(rst))
+        sums2 = {n: driver.checksum(str(out2 / n)) for n in produced}
+        assert sums1 == sums2
+
+    def test_parallelism_level_clamped(self, tmp_path, cls, prefix, kw):
+        driver = make_driver(cls, prefix, **kw)
+        job = driver.make_job("ctx", 0, 1, parallelism_level=99)
+        assert job.parallelism_level == driver.max_parallelism_level
+
+
+class TestNaming:
+    def test_key_roundtrip_and_order(self):
+        driver = make_driver(SyntheticDriver, "synth", cells=16)
+        names = [driver.filename(i) for i in (1, 5, 120, 10_000)]
+        keys = [driver.key(n) for n in names]
+        assert keys == [1, 5, 120, 10_000]
+        # Monotone: later steps have larger keys (and names sort the same).
+        assert sorted(names) == names
+
+    def test_foreign_name_rejected(self):
+        from repro.core.errors import FileNotInContextError
+
+        driver = make_driver(SyntheticDriver, "synth", cells=16)
+        with pytest.raises(FileNotInContextError):
+            driver.key("other_out_00000001.sdf")
+        with pytest.raises(FileNotInContextError):
+            driver.key("synth_restart_00000001.sdf")
+
+    def test_restart_naming(self):
+        from repro.simulators.driver import FilePatternNaming
+
+        naming = FilePatternNaming("x")
+        assert naming.restart_index(naming.restart_filename(7)) == 7
+        assert naming.is_restart(naming.restart_filename(7))
+        assert naming.is_output(naming.filename(7))
+
+    def test_bad_prefix(self):
+        from repro.simulators.driver import FilePatternNaming
+
+        with pytest.raises(InvalidArgumentError):
+            FilePatternNaming("a/b")
+
+
+class TestJobSpec:
+    def test_bad_extent_rejected(self):
+        from repro.simulators.driver import SimulationJobSpec
+
+        with pytest.raises(InvalidArgumentError):
+            SimulationJobSpec("c", 3, 3)
+        with pytest.raises(InvalidArgumentError):
+            SimulationJobSpec("c", -1, 2)
+
+    def test_num_intervals(self):
+        from repro.simulators.driver import SimulationJobSpec
+
+        assert SimulationJobSpec("c", 2, 5).num_intervals == 3
+
+
+class TestPhysics:
+    def test_cosmo_conserves_mean_temperature(self):
+        sim = CosmoSimulator(nx=32, ny=24)
+        state = sim.initial_state()
+        mean0 = state.temperature.mean()
+        for _ in range(50):
+            state = sim.step(state)
+        # Advection-diffusion on a periodic domain conserves the mean.
+        assert state.temperature.mean() == pytest.approx(mean0, rel=1e-12)
+
+    def test_cosmo_diffusion_reduces_variance(self):
+        sim = CosmoSimulator(nx=32, ny=24)
+        state = sim.initial_state()
+        var0 = state.temperature.var()
+        for _ in range(200):
+            state = sim.step(state)
+        assert state.temperature.var() < var0
+
+    def test_cosmo_unstable_config_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            CosmoSimulator(dt=10.0)
+
+    def test_flash_blast_wave_expands(self):
+        sim = FlashSimulator(cells=128)
+        state = sim.initial_state()
+        for _ in range(200):
+            state = sim.step(state)
+        out = sim.output_variables(state)
+        vel = out["velocity"]
+        center = len(vel) // 2
+        # Outward flow: positive velocity right of center, negative left.
+        assert vel[center + 5 : center + 30].max() > 0.01
+        assert vel[center - 30 : center - 5].min() < -0.01
+
+    def test_flash_mass_conserved_before_outflow(self):
+        sim = FlashSimulator(cells=256)
+        state = sim.initial_state()
+        mass0 = state.rho.sum()
+        for _ in range(100):
+            state = sim.step(state)
+        # The blast has not reached the boundary yet: mass is conserved.
+        assert state.rho.sum() == pytest.approx(mass0, rel=1e-9)
+
+    def test_flash_density_stays_positive(self):
+        sim = FlashSimulator(cells=128)
+        state = sim.initial_state()
+        for _ in range(400):
+            state = sim.step(state)
+            assert (state.rho > 0).all()
+
+    def test_synthetic_outputs_in_unit_interval(self):
+        sim = SyntheticSimulator(cells=128)
+        state = sim.initial_state()
+        for _ in range(10):
+            state = sim.step(state)
+        values = sim.output_variables(state)["value"]
+        assert ((values >= 0) & (values < 1)).all()
+
+
+class TestRunLoopValidation:
+    def test_start_past_end_rejected(self, tmp_path):
+        driver = make_driver(SyntheticDriver, "synth", cells=16)
+        with pytest.raises(InvalidArgumentError):
+            driver.execute(driver.make_job("ctx", 4, 5), str(tmp_path), str(tmp_path))
+
+    def test_restart_timestep_mismatch_rejected(self, tmp_path):
+        driver = make_driver(SyntheticDriver, "synth", cells=16)
+        out, rst = tmp_path / "o", tmp_path / "r"
+        out.mkdir(), rst.mkdir()
+        driver.execute(driver.make_job("ctx", 0, 2, write_restarts=True), str(out), str(rst))
+        # Corrupt: rename r2 over r1 so timestep attr mismatches.
+        r1 = rst / driver.restart_filename(1)
+        r2 = rst / driver.restart_filename(2)
+        r1.unlink()
+        r2.rename(r1)
+        with pytest.raises(InvalidArgumentError):
+            driver.execute(driver.make_job("ctx", 1, 2), str(out), str(rst))
+
+    def test_final_partial_window_clamped(self, tmp_path):
+        geo = StepGeometry(delta_d=2, delta_r=6, num_timesteps=20)  # not /6
+        driver = SyntheticDriver(geo, prefix="synth", cells=16)
+        out, rst = tmp_path / "o", tmp_path / "r"
+        out.mkdir(), rst.mkdir()
+        driver.execute(driver.make_job("ctx", 0, 4, write_restarts=True), str(out), str(rst))
+        out2 = tmp_path / "o2"
+        out2.mkdir()
+        produced = driver.execute(driver.make_job("ctx", 3, 4), str(out2), str(rst))
+        # Window (18, 24] clamped to 20 timesteps: only d10 (t=20).
+        assert produced == [driver.filename(10)]

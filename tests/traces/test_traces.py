@@ -1,0 +1,193 @@
+"""Tests for trace generation and cache replay."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidArgumentError
+from repro.core.steps import StepGeometry
+from repro.traces import (
+    ForwardWorkload,
+    TraceSpec,
+    backward_trace,
+    concatenated_trace,
+    ecmwf_like_trace,
+    forward_trace,
+    random_trace,
+    replay_trace,
+)
+
+GEO = StepGeometry(delta_d=5, delta_r=240, num_timesteps=4 * 24 * 60)  # 1152 steps
+
+
+class TestPatternGenerators:
+    def test_forward_trace(self):
+        assert forward_trace(10, 5, 100) == [10, 11, 12, 13, 14]
+
+    def test_forward_trace_clamped(self):
+        assert forward_trace(98, 5, 100) == [98, 99, 100]
+
+    def test_backward_trace(self):
+        assert backward_trace(10, 3, 100) == [10, 9, 8]
+
+    def test_backward_trace_clamped(self):
+        assert backward_trace(2, 5, 100) == [2, 1]
+
+    def test_random_trace_in_range(self):
+        import random
+
+        trace = random_trace(random.Random(0), 500, 100)
+        assert len(trace) == 500
+        assert all(1 <= k <= 100 for k in trace)
+
+    def test_bad_start_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            forward_trace(0, 5, 100)
+        with pytest.raises(InvalidArgumentError):
+            backward_trace(101, 5, 100)
+
+    def test_concatenated_trace_reproducible(self):
+        spec = TraceSpec(num_output_steps=1152)
+        t1 = concatenated_trace("forward", spec, seed=3)
+        t2 = concatenated_trace("forward", spec, seed=3)
+        assert t1 == t2
+        assert t1 != concatenated_trace("forward", spec, seed=4)
+
+    def test_concatenated_trace_length_bounds(self):
+        spec = TraceSpec(num_output_steps=1152, num_traces=10)
+        trace = concatenated_trace("random", spec, seed=1)
+        assert 10 * spec.min_len <= len(trace) <= 10 * spec.max_len
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            concatenated_trace("zigzag", TraceSpec(num_output_steps=100), seed=0)
+
+
+class TestEcmwfTrace:
+    def test_reproducible(self):
+        t1 = ecmwf_like_trace(1152, seed=7, num_accesses=2000)
+        assert t1 == ecmwf_like_trace(1152, seed=7, num_accesses=2000)
+
+    def test_length_and_range(self):
+        trace = ecmwf_like_trace(1152, seed=7, num_accesses=2000)
+        assert len(trace) == 2000
+        assert all(1 <= k <= 1152 for k in trace)
+
+    def test_population_bounded(self):
+        trace = ecmwf_like_trace(1152, seed=7, num_accesses=5000, num_files=100)
+        assert len(set(trace)) <= 100
+
+    def test_heavy_tail(self):
+        """A small hot set must dominate accesses (Zipf regime)."""
+        from collections import Counter
+
+        trace = ecmwf_like_trace(1152, seed=7, num_accesses=10_000)
+        counts = Counter(trace)
+        top10 = sum(c for _k, c in counts.most_common(10))
+        assert top10 > 0.2 * len(trace)
+
+
+class TestWorkload:
+    def test_sequential_at_zero_overlap(self):
+        wl = ForwardWorkload(1000, num_analyses=3, analysis_length=50,
+                             overlap=0.0, seed=1)
+        trace = wl.merged_trace()
+        runs = wl.analyses()
+        # With no overlap, the trace is the concatenation of the analyses.
+        expected = [k for run in runs for k in run.accesses]
+        assert trace == expected
+
+    def test_full_overlap_interleaves(self):
+        wl = ForwardWorkload(1000, num_analyses=3, analysis_length=50,
+                             overlap=1.0, seed=1)
+        trace = wl.merged_trace()
+        runs = wl.analyses()
+        expected = [k for run in runs for k in run.accesses]
+        assert sorted(trace) == sorted(expected)
+        assert trace != expected  # genuinely interleaved
+
+    def test_each_analysis_order_preserved(self):
+        wl = ForwardWorkload(1000, num_analyses=4, analysis_length=30,
+                             overlap=0.7, seed=2)
+        trace = wl.merged_trace()
+        for run in wl.analyses():
+            wanted = list(run.accesses)
+            positions = []
+            cursor = 0
+            for key in trace:
+                if cursor < len(wanted) and key == wanted[cursor]:
+                    positions.append(key)
+                    cursor += 1
+            assert positions == wanted
+
+    def test_validation(self):
+        with pytest.raises(InvalidArgumentError):
+            ForwardWorkload(100, 0, 10, 0.5)
+        with pytest.raises(InvalidArgumentError):
+            ForwardWorkload(100, 1, 200, 0.5)
+        with pytest.raises(InvalidArgumentError):
+            ForwardWorkload(100, 1, 10, 1.5)
+
+
+class TestReplay:
+    def test_all_hits_with_warm_cache(self):
+        trace = list(range(1, 49))
+        result = replay_trace(trace, GEO, "lru", capacity_entries=2000,
+                              warm=range(1, 49))
+        assert result.hits == len(trace)
+        assert result.restarts == 0
+        assert result.simulated_outputs == 0
+
+    def test_cold_forward_scan_restarts_once_per_interval(self):
+        # 96 steps = 2 restart intervals (48 outputs each): every access
+        # misses (production follows the scan) but each interval costs one
+        # restart, and each output is simulated exactly once.
+        trace = list(range(1, 97))
+        result = replay_trace(trace, GEO, "lru", capacity_entries=2000)
+        assert result.restarts == 2
+        assert result.simulated_outputs == 96
+        assert result.misses == 96
+
+    def test_backward_scan_benefits_from_window(self):
+        trace = list(range(96, 0, -1))
+        result = replay_trace(trace, GEO, "lru", capacity_entries=2000)
+        # A miss produces the whole window below: one restart per interval.
+        assert result.restarts == 2
+        assert result.hits == 94
+
+    def test_missed_step_survives_insertion_wave(self):
+        # Tiny cache (2 entries) cannot evict the accessed step itself.
+        trace = [30, 31, 32]
+        result = replay_trace(trace, GEO, "lru", capacity_entries=2)
+        assert result.misses >= 1
+
+    def test_cache_fraction_sizing(self):
+        trace = list(range(1, 200))
+        result = replay_trace(trace, GEO, "dcl", cache_fraction=0.25)
+        assert result.accesses == 199
+
+    def test_exactly_one_capacity_spec(self):
+        with pytest.raises(ValueError):
+            replay_trace([1], GEO, "lru")
+        with pytest.raises(ValueError):
+            replay_trace([1], GEO, "lru", cache_fraction=0.5, capacity_entries=5)
+
+    def test_fig5_regime_dcl_beats_lru_on_ecmwf(self):
+        """The paper's headline Fig. 5 result: cost-aware DCL re-simulates
+        fewer output steps than LRU on archive-like (skewed) traces."""
+        trace = ecmwf_like_trace(GEO.num_output_steps, seed=11,
+                                 num_accesses=6000)
+        lru = replay_trace(trace, GEO, "lru", cache_fraction=0.25)
+        dcl = replay_trace(trace, GEO, "dcl", cache_fraction=0.25)
+        assert dcl.simulated_outputs <= lru.simulated_outputs * 1.05
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_replay_counters_consistent(seed):
+    trace = ecmwf_like_trace(576, seed=seed, num_accesses=500)
+    geo = StepGeometry(delta_d=5, delta_r=240, num_timesteps=2880)
+    result = replay_trace(trace, geo, "dcl", cache_fraction=0.25)
+    assert result.hits + result.misses == result.accesses == 500
+    assert result.restarts <= result.misses
+    assert result.simulated_outputs >= result.misses

@@ -1,0 +1,146 @@
+"""Tests for the shared utilities (EMA, clocks, checksums) and the
+status/request objects."""
+
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidArgumentError
+from repro.core.status import AcquireRequest, FileState, Status
+from repro.util import ExponentialMovingAverage, ManualClock, WallClock
+from repro.util.checksums import bytes_checksum, file_checksum
+
+
+class TestEMA:
+    def test_first_observation_replaces_initial(self):
+        ema = ExponentialMovingAverage(0.5, initial=100.0)
+        assert ema.value == 100.0
+        ema.observe(10.0)
+        assert ema.value == 10.0
+
+    def test_smoothing(self):
+        ema = ExponentialMovingAverage(0.25)
+        ema.observe(0.0)
+        ema.observe(8.0)
+        assert ema.value == pytest.approx(2.0)  # 0.25*8 + 0.75*0
+
+    def test_alpha_one_keeps_latest(self):
+        ema = ExponentialMovingAverage(1.0)
+        for sample in (5.0, 9.0, 2.0):
+            ema.observe(sample)
+        assert ema.value == 2.0
+
+    def test_reset(self):
+        ema = ExponentialMovingAverage(0.5)
+        ema.observe(3.0)
+        ema.reset(initial=7.0)
+        assert ema.value == 7.0
+        assert ema.count == 0
+
+    def test_bad_smoothing(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(InvalidArgumentError):
+                ExponentialMovingAverage(bad)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    def test_value_within_sample_range(self, samples):
+        ema = ExponentialMovingAverage(0.5)
+        for sample in samples:
+            ema.observe(sample)
+        assert min(samples) - 1e-9 <= ema.value <= max(samples) + 1e-9
+
+
+class TestClocks:
+    def test_manual_clock_advance(self):
+        clock = ManualClock()
+        assert clock.now() == 0.0
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+        clock.set(10.0)
+        assert clock.now() == 10.0
+
+    def test_manual_clock_never_goes_backwards(self):
+        clock = ManualClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.set(4.0)
+
+    def test_wall_clock_monotone(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a >= 0.0
+
+
+class TestChecksums:
+    def test_bytes_checksum_stable(self):
+        assert bytes_checksum(b"abc") == bytes_checksum(b"abc")
+        assert bytes_checksum(b"abc") != bytes_checksum(b"abd")
+
+    def test_file_checksum_matches_bytes(self, tmp_path):
+        path = tmp_path / "f.bin"
+        payload = bytes(range(256)) * 10_000  # multi-chunk
+        path.write_bytes(payload)
+        assert file_checksum(str(path)) == bytes_checksum(payload)
+
+
+class TestStatus:
+    def test_ok_property(self):
+        assert Status().ok
+        assert not Status(error=3).ok
+
+    def test_file_states(self):
+        status = Status(file_states={"a": FileState.ON_DISK})
+        assert status.file_states["a"] is FileState.ON_DISK
+
+
+class TestAcquireRequest:
+    def test_completion(self):
+        request = AcquireRequest(filenames=["a", "b"])
+        assert not request.complete
+        request.mark_ready("a")
+        assert not request.complete
+        request.mark_ready("b")
+        assert request.complete
+        assert request.ready_files() == ["a", "b"]
+
+    def test_failure_counts_as_resolution(self):
+        request = AcquireRequest(filenames=["a"])
+        request.mark_failed("a")
+        assert request.complete
+        assert request.any_failed
+        assert request.ready_files() == []
+
+    def test_wait_blocks_until_ready(self):
+        request = AcquireRequest(filenames=["a"])
+        timer = threading.Timer(0.05, lambda: request.mark_ready("a"))
+        timer.start()
+        assert request.wait(timeout=5.0)
+
+    def test_wait_timeout(self):
+        request = AcquireRequest(filenames=["a"])
+        assert request.wait(timeout=0.01) is False
+
+    def test_waitsome_consumes_incrementally(self):
+        request = AcquireRequest(filenames=["a", "b", "c"])
+        request.mark_ready("b")
+        assert request.wait_some(timeout=1.0) == [1]
+        request.mark_ready("a")
+        assert request.wait_some(timeout=1.0) == [0]
+        assert request.test_some() == []  # nothing new
+        request.mark_ready("c")
+        assert request.test_some() == [2]
+
+    def test_threaded_marking(self):
+        request = AcquireRequest(filenames=[f"f{i}" for i in range(20)])
+        threads = [
+            threading.Thread(target=request.mark_ready, args=(f"f{i}",))
+            for i in range(20)
+        ]
+        for t in threads:
+            t.start()
+        assert request.wait(timeout=5.0)
+        assert len(request.ready_files()) == 20
