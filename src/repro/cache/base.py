@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import abc
 from collections.abc import Callable, Iterator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.errors import InvalidArgumentError
 

@@ -15,9 +15,13 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.cache.base import ReplacementPolicy, make_policy
 from repro.core.errors import InvalidArgumentError
+
+if TYPE_CHECKING:
+    from repro.metrics import MetricsRegistry
 
 __all__ = ["StorageArea", "EvictionRecord"]
 
@@ -47,6 +51,10 @@ class StorageArea:
         Callback ``(key) -> None`` invoked after an entry is chosen for
         eviction and before it is dropped from the books; real mode deletes
         the file here.
+    metrics / metrics_prefix:
+        Optional metrics registry; when given, the area records
+        ``{prefix}.hits`` / ``.misses`` / ``.evictions`` / ``.overflows``
+        counters and a ``{prefix}.used_bytes`` gauge.
     """
 
     def __init__(
@@ -55,6 +63,8 @@ class StorageArea:
         capacity_bytes: int | None,
         entry_bytes: int = 1,
         on_evict: Callable[[int], None] | None = None,
+        metrics: "MetricsRegistry | None" = None,
+        metrics_prefix: str = "cache",
     ) -> None:
         if entry_bytes <= 0:
             raise InvalidArgumentError(f"entry_bytes must be > 0, got {entry_bytes}")
@@ -78,6 +88,15 @@ class StorageArea:
         self._used = 0
         self.evictions: list[EvictionRecord] = []
         self.overflow_events = 0
+        if metrics is not None:
+            self._m_hits = metrics.counter(f"{metrics_prefix}.hits")
+            self._m_misses = metrics.counter(f"{metrics_prefix}.misses")
+            self._m_evictions = metrics.counter(f"{metrics_prefix}.evictions")
+            self._m_overflows = metrics.counter(f"{metrics_prefix}.overflows")
+            self._m_used = metrics.gauge(f"{metrics_prefix}.used_bytes")
+        else:
+            self._m_hits = self._m_misses = None
+            self._m_evictions = self._m_overflows = self._m_used = None
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -112,6 +131,8 @@ class StorageArea:
             raise AssertionError(
                 f"policy/manager residency disagreement on key {key}"
             )
+        if self._m_hits is not None:
+            (self._m_hits if hit else self._m_misses).inc()
         return hit
 
     def insert(
@@ -140,6 +161,8 @@ class StorageArea:
         if pinned:
             self.pin(key)
         self.evict_until_fits()
+        if self._m_used is not None:
+            self._m_used.set(self._used)
 
     def remove(self, key: int) -> None:
         """Drop an entry without counting it as a policy eviction
@@ -150,6 +173,8 @@ class StorageArea:
         self._used -= size
         self._refcounts.pop(key, None)
         self.policy.record_evict(key)
+        if self._m_used is not None:
+            self._m_used.set(self._used)
 
     def pin(self, key: int) -> None:
         """Increment the reference counter of a resident entry."""
@@ -176,8 +201,12 @@ class StorageArea:
             victim = self.policy.victim(self._is_evictable)
             if victim is None:
                 self.overflow_events += 1
+                if self._m_overflows is not None:
+                    self._m_overflows.inc()
                 break
             freed.append(self._evict(victim))
+        if self._m_used is not None:
+            self._m_used.set(self._used)
         return freed
 
     # ------------------------------------------------------------------ #
@@ -189,6 +218,8 @@ class StorageArea:
         self._used -= size
         record = EvictionRecord(key=key, size_bytes=size)
         self.evictions.append(record)
+        if self._m_evictions is not None:
+            self._m_evictions.inc()
         if self._on_evict is not None:
             self._on_evict(key)
         self.policy.record_evict(key)

@@ -13,6 +13,9 @@ Subcommands
 ``replay``
     Replay a generated trace through a replacement policy and print the
     Fig. 5 counters.
+``dv-stats``
+    Query a running DV daemon's ``stats`` op and print the metrics-plane
+    snapshot (same payload as ``simfs-dv --stats``).
 """
 
 from __future__ import annotations
@@ -79,6 +82,13 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dv_stats(args: argparse.Namespace) -> int:
+    from repro.client.dvlib import fetch_stats
+
+    print(json.dumps(fetch_stats(args.host, args.port), indent=1, sort_keys=True))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="simfs-ctl", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -112,6 +122,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--num-timesteps", type=int, dest="num_timesteps",
                    default=4 * 24 * 60)
     p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser("dv-stats", help="print a running DV daemon's stats")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7878)
+    p.set_defaults(func=_cmd_dv_stats)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -36,7 +36,20 @@ from repro.core.errors import (
 from repro.core.status import FileState
 from repro.dv.protocol import MessageReader, send_message
 
-__all__ = ["FileInfo", "DVConnection", "TcpConnection", "LocalConnection"]
+__all__ = [
+    "FileInfo",
+    "DVConnection",
+    "TcpConnection",
+    "LocalConnection",
+    "fetch_stats",
+]
+
+
+def fetch_stats(host: str, port: int) -> dict:
+    """One-shot ``stats`` query against a running DV daemon (backs the
+    ``simfs-dv --stats`` and ``simfs-ctl dv-stats`` entry points)."""
+    with TcpConnection(host, port, {}, {}) as conn:
+        return conn.stats()
 
 
 @dataclass(frozen=True)
@@ -146,6 +159,16 @@ class DVConnection(abc.ABC):
         """Compare a file against the recorded initial-run checksum."""
 
     @abc.abstractmethod
+    def batch(self, ops: list[dict]) -> list[dict]:
+        """Pipelined sub-ops: send many requests in one frame, get the
+        per-sub-op reply payloads back in order.  Each payload carries its
+        own ``error`` field; a failing sub-op does not abort the rest."""
+
+    @abc.abstractmethod
+    def stats(self) -> dict:
+        """Snapshot of the DV's metrics plane (the ``stats`` op)."""
+
+    @abc.abstractmethod
     def storage_path(self, context: str, filename: str) -> str:
         """Physical path of an output file in the context storage area."""
 
@@ -192,6 +215,12 @@ class TcpConnection(DVConnection):
         self._restart_dirs = dict(restart_dirs)
         self._sock = socket.create_connection((host, port), timeout=connect_timeout)
         self._sock.settimeout(None)
+        # Request/reply frames are tiny: Nagle's algorithm only adds
+        # latency to every RPC round trip.
+        try:
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
         self._send_lock = threading.Lock()
         self._reqs = itertools.count(1)
         self._replies: dict[int, queue.Queue] = {}
@@ -206,6 +235,9 @@ class TcpConnection(DVConnection):
         reply = reader.read_message()
         if reply is None or reply.get("op") != "reply":
             raise ConnectionLostError("DV handshake failed")
+        if reply.get("error"):
+            self._sock.close()
+            raise _error_from_code(reply["error"], reply.get("detail", ""))
         self._reader = reader
         self._listener.start()
 
@@ -311,6 +343,12 @@ class TcpConnection(DVConnection):
             message["path"] = path
         return bool(self._rpc(message)["matches"])
 
+    def batch(self, ops: list[dict]) -> list[dict]:
+        return list(self._rpc({"op": "batch", "ops": list(ops)})["results"])
+
+    def stats(self) -> dict:
+        return dict(self._rpc({"op": "stats"})["stats"])
+
     def storage_path(self, context: str, filename: str) -> str:
         return os.path.join(self._storage_dirs[context], filename)
 
@@ -329,7 +367,6 @@ class LocalConnection(DVConnection):
         super().__init__(client_id)
         self._server = server
         self._coordinator = server.coordinator
-        self._lock = server.launcher.lock
         self._clock = server.launcher.clock
         self._contexts: set[str] = set()
         # Splice this client's notifications into the ready table.
@@ -345,15 +382,14 @@ class LocalConnection(DVConnection):
         self._coordinator._notify = notify
 
     def attach(self, context: str) -> None:
-        with self._lock:
-            self._coordinator.client_connect(self.client_id, context)
+        # Shards serialize their own state: no front-end lock is needed.
+        self._coordinator.client_connect(self.client_id, context)
         self._contexts.add(context)
 
     def finalize(self, context: str) -> None:
-        with self._lock:
-            self._coordinator.client_disconnect(
-                self.client_id, context, self._clock.now()
-            )
+        self._coordinator.client_disconnect(
+            self.client_id, context, self._clock.now()
+        )
         self._contexts.discard(context)
 
     def close(self) -> None:
@@ -364,10 +400,9 @@ class LocalConnection(DVConnection):
                 pass
 
     def open(self, context: str, filename: str) -> FileInfo:
-        with self._lock:
-            result = self._coordinator.handle_open(
-                self.client_id, context, filename, self._clock.now()
-            )
+        result = self._coordinator.handle_open(
+            self.client_id, context, filename, self._clock.now()
+        )
         return FileInfo(
             filename=filename,
             available=result.available,
@@ -379,27 +414,75 @@ class LocalConnection(DVConnection):
         return [self.open(context, name) for name in filenames]
 
     def release(self, context: str, filename: str) -> None:
-        with self._lock:
-            self._coordinator.handle_release(
-                self.client_id, context, filename, self._clock.now()
-            )
+        self._coordinator.handle_release(
+            self.client_id, context, filename, self._clock.now()
+        )
         self.ready_table.forget(context, filename)
 
     def notify_write_close(self, context: str, filename: str) -> None:
-        with self._lock:
-            self._coordinator.sim_file_closed(context, filename, self._clock.now())
+        self._coordinator.sim_file_closed(context, filename, self._clock.now())
 
     def bitrep(self, context: str, filename: str, path: str | None = None) -> bool:
         if path is None:
             path = self.storage_path(context, filename)
-        with self._lock:
-            return self._coordinator.handle_bitrep(context, filename, path)
+        return self._coordinator.handle_bitrep(context, filename, path)
+
+    def batch(self, ops: list[dict]) -> list[dict]:
+        """In-process mirror of the daemon's ``batch`` op semantics."""
+        results = []
+        for sub in ops:
+            sub_op = sub.get("op") if isinstance(sub, dict) else None
+            try:
+                payload = self._local_op(sub_op, sub)
+            except SimFSError as exc:
+                payload = {"error": int(exc.code), "detail": str(exc)}
+            payload.setdefault("error", int(ErrorCode.SUCCESS))
+            payload["op"] = sub_op
+            results.append(payload)
+        return results
+
+    def _local_op(self, sub_op: str | None, sub: dict) -> dict:
+        if sub_op == "open":
+            info = self.open(sub["context"], sub["file"])
+            return {"available": info.available, "state": info.state.value,
+                    "wait": info.estimated_wait}
+        if sub_op == "acquire":
+            infos = self.acquire(sub["context"], list(sub["files"]))
+            return {"results": [
+                {"file": i.filename, "available": i.available,
+                 "state": i.state.value, "wait": i.estimated_wait}
+                for i in infos
+            ]}
+        if sub_op == "release":
+            self.release(sub["context"], sub["file"])
+            return {}
+        if sub_op == "wclose":
+            self.notify_write_close(sub["context"], sub["file"])
+            return {}
+        if sub_op == "bitrep":
+            return {"matches": self.bitrep(
+                sub["context"], sub["file"], sub.get("path")
+            )}
+        if sub_op == "attach":
+            self.attach(sub["context"])
+            return {}
+        if sub_op == "finalize":
+            self.finalize(sub["context"])
+            return {}
+        if sub_op == "stats":
+            return {"stats": self.stats()}
+        from repro.core.errors import ProtocolError
+
+        raise ProtocolError(f"unknown or non-batchable sub-op {sub_op!r}")
+
+    def stats(self) -> dict:
+        return self._coordinator.stats_snapshot()
 
     def storage_path(self, context: str, filename: str) -> str:
         return self._server.storage_path(context, filename)
 
     def restart_dir(self, context: str) -> str:
-        return self._server.launcher._contexts[context].restart_dir
+        return self._server.launcher.restart_dir(context)
 
 
 def _error_from_code(code: int, detail: str) -> SimFSError:

@@ -17,7 +17,6 @@ from repro.costs.models import (
     COSMO_COST_SCENARIO,
     CostParams,
     PIZ_DAINT_COSTS,
-    c_sim,
     in_situ_cost,
     on_disk_cost,
     simfs_cost,

@@ -18,6 +18,7 @@ from repro.core.context import SimulationContext
 from repro.core.errors import InvalidArgumentError
 from repro.des.engine import DESEngine, EventHandle
 from repro.dv.coordinator import DVCoordinator, Notification, RunningSim
+from repro.metrics import MetricsRegistry
 
 __all__ = ["DESExecutor", "VirtualAnalysis", "VirtualSimFS"]
 
@@ -199,7 +200,10 @@ class VirtualSimFS:
 
     def __post_init__(self) -> None:
         self.executor = DESExecutor(self.engine, self.queue_delay)
-        self.coordinator = DVCoordinator(self.executor, notify=self._route)
+        self.metrics = MetricsRegistry()
+        self.coordinator = DVCoordinator(
+            self.executor, notify=self._route, metrics=self.metrics
+        )
         self.executor.bind(self.coordinator)
         self._analyses: dict[str, VirtualAnalysis] = {}
 
@@ -225,6 +229,11 @@ class VirtualSimFS:
 
     def run(self, until: float | None = None) -> float:
         return self.engine.run(until=until)
+
+    def stats(self) -> dict:
+        """The same metrics-plane snapshot the TCP daemon serves over the
+        ``stats`` op — one logic, two deployments includes observability."""
+        return self.coordinator.stats_snapshot()
 
     def _route(self, notification: Notification) -> None:
         analysis = self._analyses.get(notification.client_id)

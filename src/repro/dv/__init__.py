@@ -1,5 +1,5 @@
-"""The Data Virtualizer: coordinator core, real-mode launcher, wire
-protocol, and the TCP daemon."""
+"""The Data Virtualizer: context shards, the routing coordinator, the
+real-mode launcher, the wire protocol, and the TCP daemon."""
 
 from repro.dv.coordinator import (
     DVCoordinator,
@@ -10,10 +10,13 @@ from repro.dv.coordinator import (
 )
 from repro.dv.launcher import ThreadedLauncher
 from repro.dv.server import DVServer
+from repro.dv.shard import ContextShard, JobQueue
 
 __all__ = [
+    "ContextShard",
     "DVCoordinator",
     "DVServer",
+    "JobQueue",
     "Notification",
     "OpenResult",
     "RunningSim",

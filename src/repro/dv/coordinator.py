@@ -1,19 +1,16 @@
-"""The Data Virtualizer core logic (paper Sec. III).
+"""The Data Virtualizer registry/router (paper Sec. III).
 
-:class:`DVCoordinator` is the transport-free heart of SimFS.  It owns, per
-registered simulation context:
+:class:`DVCoordinator` is a thin routing layer over **context shards**
+(:mod:`repro.dv.shard`): every registered simulation context gets a
+self-contained :class:`~repro.dv.shard.ContextShard` owning its own lock,
+storage area, waiter table, job queue and prefetch agents.  The
+coordinator maps ``context_name`` to the shard and delegates; it holds no
+data-path state and takes no global lock, so traffic on independent
+contexts never contends.
 
-* the **storage area** (bounded cache of output steps with reference
-  counters and the configured replacement scheme);
-* the **waiter table** — which clients block on which missing files;
-* the **running re-simulations** — launched through a pluggable
-  :class:`SimulationExecutor`, bounded by the context's ``smax``, with a
-  priority queue (demand jobs before prefetch jobs);
-* one **prefetch agent per client** plus the shared restart-latency EMA.
-
-Both front ends drive the same coordinator: the TCP daemon
-(:mod:`repro.dv.server`) calls it from socket handlers with wall-clock
-timestamps, and the discrete-event simulator (:mod:`repro.des`) calls it
+Both front ends drive the same shards: the TCP daemon
+(:mod:`repro.dv.server`) calls in from socket handlers with wall-clock
+timestamps, and the discrete-event simulator (:mod:`repro.des`) calls in
 with virtual timestamps.  That is how the reproduction keeps the paper's
 "one logic, two deployments" property testable.
 """
@@ -21,20 +18,19 @@ with virtual timestamps.  That is how the reproduction keeps the paper's
 from __future__ import annotations
 
 import itertools
+import threading
 from collections.abc import Callable
-from dataclasses import dataclass, field
-from typing import Protocol
 
-from repro.cache.manager import StorageArea
 from repro.core.context import SimulationContext
-from repro.core.errors import (
-    ContextError,
-    FileNotInContextError,
-    InvalidArgumentError,
+from repro.core.errors import ContextError
+from repro.dv.shard import (
+    ContextShard,
+    Notification,
+    OpenResult,
+    RunningSim,
+    SimulationExecutor,
 )
-from repro.core.status import FileState
-from repro.prefetch.agent import PrefetchAction, PrefetchAgent
-from repro.util.ema import ExponentialMovingAverage
+from repro.metrics import MetricsRegistry
 
 __all__ = [
     "SimulationExecutor",
@@ -45,105 +41,23 @@ __all__ = [
 ]
 
 
-class SimulationExecutor(Protocol):
-    """How the coordinator starts and stops re-simulations.
-
-    Real mode: a thread-pool launcher running driver jobs (or batch-system
-    submission).  Virtual-time mode: the DES schedules production events.
-    """
-
-    def launch(self, context: SimulationContext, sim: "RunningSim") -> None:
-        """Start the simulation; file-completion callbacks flow back into
-        the coordinator asynchronously."""
-        ...
-
-    def kill(self, sim_id: int) -> None:
-        """Best-effort stop of a running simulation."""
-        ...
-
-
-@dataclass
-class RunningSim:
-    """Book-keeping for one launched re-simulation."""
-
-    sim_id: int
-    context_name: str
-    start_restart: int
-    stop_restart: int
-    parallelism_level: int
-    launch_time: float
-    is_prefetch: bool
-    owner_client: str | None
-    planned_keys: list[int]
-    produced_keys: set[int] = field(default_factory=set)
-    first_output_time: float | None = None
-    killed: bool = False
-
-    @property
-    def done(self) -> bool:
-        return self.produced_keys >= set(self.planned_keys)
-
-
-@dataclass(frozen=True)
-class OpenResult:
-    """Outcome of a client open/acquire on one file."""
-
-    filename: str
-    state: FileState
-    estimated_wait: float = 0.0
-
-    @property
-    def available(self) -> bool:
-        return self.state is FileState.ON_DISK
-
-
-@dataclass(frozen=True)
-class Notification:
-    """File-ready (or failed) message to deliver to a waiting client."""
-
-    client_id: str
-    context_name: str
-    filename: str
-    ok: bool = True
-
-
-@dataclass
-class _ContextState:
-    context: SimulationContext
-    area: StorageArea
-    alpha_ema: ExponentialMovingAverage
-    waiters: dict[int, set[str]] = field(default_factory=dict)
-    in_flight: dict[int, int] = field(default_factory=dict)  # key -> sim_id
-    sims: dict[int, RunningSim] = field(default_factory=dict)
-    pending_jobs: list[RunningSim] = field(default_factory=list)
-    agents: dict[str, PrefetchAgent] = field(default_factory=dict)
-    # keys each client has open (for pin bookkeeping on disconnect)
-    open_files: dict[str, list[int]] = field(default_factory=dict)
-    # when each client's last access was *served* (hit time or notification
-    # time) — the basis of the pure-processing-time τcli measurement
-    last_served: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def running_count(self) -> int:
-        return len(self.sims)
-
-
 class DVCoordinator:
-    """Transport-free DV daemon core."""
+    """Registry of context shards plus name-based routing."""
 
     def __init__(
         self,
         executor: SimulationExecutor,
         notify: Callable[[Notification], None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._executor = executor
         self._notify = notify or (lambda _n: None)
-        self._contexts: dict[str, _ContextState] = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._shards: dict[str, ContextShard] = {}
+        self._registry_lock = threading.Lock()
+        # Shared across shards so sim ids stay globally unique (the
+        # launcher and the DES key their book-keeping by sim_id alone).
         self._sim_ids = itertools.count(1)
-        # Aggregate experiment counters (Fig. 5 reports these).
-        self.total_restarts = 0
-        self.total_simulated_outputs = 0
-        self.total_killed_sims = 0
 
     # ------------------------------------------------------------------ #
     # Context and client management
@@ -152,68 +66,48 @@ class DVCoordinator:
         self,
         context: SimulationContext,
         on_evict_file: Callable[[str], None] | None = None,
-    ) -> None:
-        """Register a simulation context with its bounded storage area."""
-        if context.name in self._contexts:
-            raise ContextError(f"context {context.name!r} already registered")
-        config = context.config
-
-        def evict_cb(key: int) -> None:
-            if on_evict_file is not None:
-                on_evict_file(context.filename_of(key))
-
-        area = StorageArea(
-            config.replacement_policy,
-            capacity_bytes=config.max_storage_bytes,
-            entry_bytes=config.output_step_bytes,
-            on_evict=evict_cb,
-        )
-        self._contexts[context.name] = _ContextState(
-            context=context,
-            area=area,
-            alpha_ema=ExponentialMovingAverage(
-                config.ema_smoothing, initial=context.perf.alpha_sim
-            ),
-        )
+    ) -> ContextShard:
+        """Register a simulation context as a new shard."""
+        with self._registry_lock:
+            if context.name in self._shards:
+                raise ContextError(f"context {context.name!r} already registered")
+            shard = ContextShard(
+                context,
+                executor=self._executor,
+                sim_ids=self._sim_ids,
+                notify=self._dispatch_notification,
+                metrics=self.metrics,
+                on_evict_file=on_evict_file,
+            )
+            self._shards[context.name] = shard
+            return shard
 
     def context_names(self) -> list[str]:
-        return sorted(self._contexts)
+        with self._registry_lock:
+            return sorted(self._shards)
 
-    def get_state(self, context_name: str) -> _ContextState:
-        """Internal state of a context (used by tests and the DES)."""
+    def shard(self, context_name: str) -> ContextShard:
+        """The shard owning ``context_name``."""
         try:
-            return self._contexts[context_name]
+            return self._shards[context_name]
         except KeyError:
             raise ContextError(f"unknown context {context_name!r}") from None
 
+    def shards(self) -> list[ContextShard]:
+        with self._registry_lock:
+            return [self._shards[name] for name in sorted(self._shards)]
+
+    # Historical name: the shard *is* the per-context state bag the tests
+    # and the DES introspect.
+    get_state = shard
+
     def client_connect(self, client_id: str, context_name: str) -> None:
         """``SIMFS_Init``: attach a client (and its prefetch agent)."""
-        state = self.get_state(context_name)
-        if client_id in state.agents:
-            raise InvalidArgumentError(
-                f"client {client_id!r} already attached to {context_name!r}"
-            )
-        state.agents[client_id] = PrefetchAgent(
-            state.context.config, state.context.perf, state.alpha_ema
-        )
-        state.open_files[client_id] = []
+        self.shard(context_name).client_connect(client_id)
 
     def client_disconnect(self, client_id: str, context_name: str, now: float) -> None:
-        """``SIMFS_Finalize``: drop pins, reset the agent, kill orphaned
-        prefetch simulations."""
-        state = self.get_state(context_name)
-        agent = state.agents.pop(client_id, None)
-        state.last_served.pop(client_id, None)
-        for key in state.open_files.pop(client_id, []):
-            if key in state.area:
-                state.area.unpin(key)
-        for key, waiting in list(state.waiters.items()):
-            waiting.discard(client_id)
-            if not waiting:
-                del state.waiters[key]
-        if agent is not None:
-            self._kill_useless_prefetches(state, client_id)
-        state.area.evict_until_fits()
+        """``SIMFS_Finalize``: detach a client from one context."""
+        self.shard(context_name).client_disconnect(client_id, now)
 
     # ------------------------------------------------------------------ #
     # Client data path
@@ -221,97 +115,20 @@ class DVCoordinator:
     def handle_open(
         self, client_id: str, context_name: str, filename: str, now: float
     ) -> OpenResult:
-        """An analysis wants ``filename`` (transparent open or acquire).
-
-        On a hit the file is pinned for the client and the call reports it
-        available.  On a miss the client is registered as a waiter and a
-        demand re-simulation is launched unless one already covers the
-        step; prefetch decisions from the client's agent are executed
-        either way.
-        """
-        state = self.get_state(context_name)
-        self._require_client(state, client_id, context_name)
-        key = self._key_of(state, filename)
-
-        hit = state.area.access(key)
-        if hit:
-            state.area.pin(key)
-            state.open_files[client_id].append(key)
-
-        # Pure analysis processing time: gap since this client's previous
-        # access was served (excludes time blocked on re-simulations).
-        previous_serve = state.last_served.get(client_id)
-        processing_time = None if previous_serve is None else now - previous_serve
-        if hit:
-            state.last_served[client_id] = now
-
-        agent = state.agents[client_id]
-        decision = agent.observe_access(key, now, hit, processing_time)
-        if decision.pollution:
-            # A prefetched step was evicted before use: cache pollution;
-            # reset every agent of the context (Sec. IV-C).
-            for other in state.agents.values():
-                other.reset()
-        if decision.pattern_broken:
-            self._kill_useless_prefetches(state, client_id)
-
-        estimated = 0.0
-        if not hit:
-            state.waiters.setdefault(key, set()).add(client_id)
-            if key not in state.in_flight:
-                sim = self._launch_demand(state, client_id, key, now)
-                agent.note_demand_job(sim.start_restart, sim.stop_restart)
-            estimated = self._estimate_wait(state, key, now)
-
-        # Execute prefetch launches after the demand job so coverage
-        # bookkeeping extends from its edge.
-        for action in decision.launch:
-            self._launch_prefetch(state, client_id, action, now)
-
-        return OpenResult(
-            filename=filename,
-            state=FileState.ON_DISK if hit else self._flight_state(state, key),
-            estimated_wait=estimated,
-        )
+        return self.shard(context_name).handle_open(client_id, filename, now)
 
     def handle_acquire(
         self, client_id: str, context_name: str, filenames: list[str], now: float
     ) -> list[OpenResult]:
-        """``SIMFS_Acquire``: open semantics over a set of files."""
-        return [
-            self.handle_open(client_id, context_name, name, now)
-            for name in filenames
-        ]
+        return self.shard(context_name).handle_acquire(client_id, filenames, now)
 
     def handle_release(
         self, client_id: str, context_name: str, filename: str, now: float
     ) -> None:
-        """``SIMFS_Release`` / transparent read-close: drop the pin."""
-        state = self.get_state(context_name)
-        self._require_client(state, client_id, context_name)
-        key = self._key_of(state, filename)
-        open_list = state.open_files[client_id]
-        if key not in open_list:
-            raise InvalidArgumentError(
-                f"client {client_id!r} does not hold {filename!r}"
-            )
-        open_list.remove(key)
-        if key in state.area:
-            state.area.unpin(key)
-            state.area.evict_until_fits()
+        self.shard(context_name).handle_release(client_id, filename, now)
 
     def handle_bitrep(self, context_name: str, filename: str, path: str) -> bool:
-        """``SIMFS_Bitrep``: does the file at ``path`` match the checksum
-        recorded for ``filename`` at initial-simulation time?"""
-        state = self.get_state(context_name)
-        reference = state.context.reference_checksum(filename)
-        if reference is None:
-            from repro.core.errors import ChecksumUnavailableError
-
-            raise ChecksumUnavailableError(
-                f"no reference checksum recorded for {filename!r}"
-            )
-        return state.context.driver.checksum(path) == reference
+        return self.shard(context_name).handle_bitrep(filename, path)
 
     # ------------------------------------------------------------------ #
     # Simulator data path (DVLib intercepts the simulator's closes)
@@ -319,269 +136,52 @@ class DVCoordinator:
     def sim_file_closed(
         self, context_name: str, filename: str, now: float
     ) -> list[Notification]:
-        """A running simulation closed an output file: it is ready on disk
-        (Fig. 4 step 5).  Inserts it into the storage area, updates the
-        latency estimate, notifies waiters, and starts queued jobs when a
-        simulation completes."""
-        state = self.get_state(context_name)
-        naming = state.context.driver.naming
-        if naming.is_restart(filename):
-            return []  # checkpoint writes are not analysis-visible
-        key = self._key_of(state, filename)
-
-        # The file exists now, whichever simulation produced it: the
-        # in-flight claim is satisfied unconditionally (the claiming sim
-        # may be queued or already gone).
-        owner = state.in_flight.pop(key, None)
-        sim = state.sims.get(owner) if owner is not None else None
-        if sim is not None:
-            sim.produced_keys.add(key)
-            if sim.first_output_time is None:
-                sim.first_output_time = now
-                # Observed restart latency: launch -> first output, minus
-                # one production period (Sec. IV-C1c).
-                tau = state.context.perf.tau(sim.parallelism_level)
-                state.alpha_ema.observe(max(0.0, now - sim.launch_time - tau))
-        self.total_simulated_outputs += 1
-
-        waiting = state.waiters.pop(key, set())
-        cost = float(state.context.geometry.miss_cost(key))
-        # Atomic pinned insert: a step with waiters must not be evicted by
-        # the cache pressure of its own insertion wave.
-        state.area.insert(key, cost=cost, pinned=bool(waiting))
-        notifications = []
-        for idx, client_id in enumerate(waiting):
-            if idx > 0:
-                state.area.pin(key)
-            state.open_files[client_id].append(key)
-            state.last_served[client_id] = now
-            notifications.append(
-                Notification(client_id, context_name, filename, ok=True)
-            )
-        if sim is not None and sim.done:
-            self._sim_finished(state, sim, now)
-        for notification in notifications:
-            self._notify(notification)
-        return notifications
+        return self.shard(context_name).sim_file_closed(filename, now)
 
     def sim_completed(self, context_name: str, sim_id: int, now: float) -> None:
-        """The executor reports a simulation process exited."""
-        state = self.get_state(context_name)
-        sim = state.sims.get(sim_id)
-        if sim is not None:
-            self._sim_finished(state, sim, now)
+        self.shard(context_name).sim_completed(sim_id, now)
 
-    def sim_failed(self, context_name: str, sim_id: int, now: float) -> list[Notification]:
-        """A re-simulation crashed: fail its waiters (Sec. III-C status)."""
-        state = self.get_state(context_name)
-        sim = state.sims.pop(sim_id, None)
-        if sim is None:
-            return []
-        notifications = []
-        for key in sim.planned_keys:
-            if state.in_flight.get(key) == sim_id:
-                del state.in_flight[key]
-            for client_id in state.waiters.pop(key, set()):
-                notifications.append(
-                    Notification(
-                        client_id,
-                        context_name,
-                        state.context.filename_of(key),
-                        ok=False,
-                    )
-                )
-        self._start_queued(state, now)
-        for notification in notifications:
-            self._notify(notification)
-        return notifications
+    def sim_failed(
+        self, context_name: str, sim_id: int, now: float
+    ) -> list[Notification]:
+        return self.shard(context_name).sim_failed(sim_id, now)
 
     # ------------------------------------------------------------------ #
-    # Internals
+    # Aggregates (Fig. 5 counters and the stats plane)
     # ------------------------------------------------------------------ #
-    def _require_client(
-        self, state: _ContextState, client_id: str, context_name: str
-    ) -> None:
-        if client_id not in state.agents:
-            raise InvalidArgumentError(
-                f"client {client_id!r} is not attached to {context_name!r} "
-                "(call client_connect first)"
-            )
+    @property
+    def total_restarts(self) -> int:
+        return sum(s.total_restarts for s in self.shards())
 
-    def _key_of(self, state: _ContextState, filename: str) -> int:
-        try:
-            return state.context.key_of(filename)
-        except FileNotInContextError:
-            raise
-        except Exception as exc:  # driver bugs surface as context errors
-            raise FileNotInContextError(str(exc)) from exc
+    @property
+    def total_simulated_outputs(self) -> int:
+        return sum(s.total_simulated_outputs for s in self.shards())
 
-    def _flight_state(self, state: _ContextState, key: int) -> FileState:
-        sim_id = state.in_flight.get(key)
-        if sim_id is None:
-            return FileState.UNKNOWN
-        sim = state.sims.get(sim_id)
-        if sim is None:
-            return FileState.QUEUED
-        return FileState.SIMULATING
+    @property
+    def total_killed_sims(self) -> int:
+        return sum(s.total_killed_sims for s in self.shards())
 
-    def _launch_demand(
-        self, state: _ContextState, client_id: str, key: int, now: float
-    ) -> RunningSim:
-        geo = state.context.geometry
-        start_r, stop_r = geo.resim_job_extent(key)
-        return self._launch(
-            state,
-            start_r,
-            stop_r,
-            level=state.context.config.default_parallelism_level,
-            now=now,
-            is_prefetch=False,
-            owner=client_id,
-        )
+    def stats_snapshot(self) -> dict:
+        """JSON-serializable service state: per-shard summaries plus the
+        metrics registry (the payload of the ``stats`` protocol op)."""
+        summaries = [shard.summary() for shard in self.shards()]
+        # Totals from the same locked pass, so they always agree with the
+        # per-shard summaries of this snapshot.
+        return {
+            "contexts": summaries,
+            "totals": {
+                "restarts": sum(s["total_restarts"] for s in summaries),
+                "simulated_outputs": sum(
+                    s["total_simulated_outputs"] for s in summaries
+                ),
+                "killed_sims": sum(s["total_killed_sims"] for s in summaries),
+            },
+            "metrics": self.metrics.snapshot(),
+        }
 
-    def _launch_prefetch(
-        self, state: _ContextState, client_id: str, action: PrefetchAction, now: float
-    ) -> RunningSim | None:
-        geo = state.context.geometry
-        planned = [
-            k
-            for k in geo.outputs_between_restarts(
-                action.start_restart, action.stop_restart
-            )
-            if k not in state.area and k not in state.in_flight
-        ]
-        if not planned:
-            return None
-        return self._launch(
-            state,
-            action.start_restart,
-            action.stop_restart,
-            level=action.parallelism_level,
-            now=now,
-            is_prefetch=True,
-            owner=client_id,
-        )
-
-    def _launch(
-        self,
-        state: _ContextState,
-        start_r: int,
-        stop_r: int,
-        level: int,
-        now: float,
-        is_prefetch: bool,
-        owner: str | None,
-    ) -> RunningSim:
-        geo = state.context.geometry
-        planned = [
-            k
-            for k in geo.outputs_between_restarts(start_r, stop_r)
-            if k not in state.area
-        ]
-        sim = RunningSim(
-            sim_id=next(self._sim_ids),
-            context_name=state.context.name,
-            start_restart=start_r,
-            stop_restart=stop_r,
-            parallelism_level=level,
-            launch_time=now,
-            is_prefetch=is_prefetch,
-            owner_client=owner,
-            planned_keys=planned,
-        )
-        for key in planned:
-            state.in_flight.setdefault(key, sim.sim_id)
-        if state.running_count >= state.context.config.smax:
-            # smax reached: queue (demand jobs ahead of prefetch jobs).
-            if is_prefetch:
-                state.pending_jobs.append(sim)
-            else:
-                insert_at = next(
-                    (
-                        idx
-                        for idx, queued in enumerate(state.pending_jobs)
-                        if queued.is_prefetch
-                    ),
-                    len(state.pending_jobs),
-                )
-                state.pending_jobs.insert(insert_at, sim)
-            return sim
-        self._start(state, sim, now)
-        return sim
-
-    def _start(self, state: _ContextState, sim: RunningSim, now: float) -> None:
-        sim.launch_time = now
-        state.sims[sim.sim_id] = sim
-        self.total_restarts += 1
-        self._executor.launch(state.context, sim)
-
-    def _sim_finished(self, state: _ContextState, sim: RunningSim, now: float) -> None:
-        state.sims.pop(sim.sim_id, None)
-        for key in sim.planned_keys:
-            if state.in_flight.get(key) == sim.sim_id:
-                del state.in_flight[key]
-        self._start_queued(state, now)
-
-    def _start_queued(self, state: _ContextState, now: float) -> None:
-        while state.pending_jobs and state.running_count < state.context.config.smax:
-            sim = state.pending_jobs.pop(0)
-            if sim.killed:
-                self._release_claims(state, sim)
-                continue
-            # Drop keys that materialized while queued — releasing their
-            # in-flight claims, or later misses would wait on a simulation
-            # that never runs.
-            dropped = [k for k in sim.planned_keys if k in state.area]
-            sim.planned_keys = [k for k in sim.planned_keys if k not in state.area]
-            for key in dropped:
-                if state.in_flight.get(key) == sim.sim_id:
-                    del state.in_flight[key]
-            if not sim.planned_keys:
-                continue
-            self._start(state, sim, now)
-
-    def _release_claims(self, state: _ContextState, sim: RunningSim) -> None:
-        for key in sim.planned_keys:
-            if state.in_flight.get(key) == sim.sim_id:
-                del state.in_flight[key]
-
-    def _kill_useless_prefetches(self, state: _ContextState, client_id: str) -> None:
-        """Kill prefetch sims of this client nobody else is waiting on
-        (Sec. IV-C, prefetching effectiveness)."""
-        for sim in list(state.sims.values()) + state.pending_jobs:
-            if not sim.is_prefetch or sim.owner_client != client_id or sim.killed:
-                continue
-            has_waiters = any(
-                state.waiters.get(key) for key in sim.planned_keys
-            )
-            if has_waiters:
-                continue
-            sim.killed = True
-            self.total_killed_sims += 1
-            if sim.sim_id in state.sims:
-                del state.sims[sim.sim_id]
-                self._executor.kill(sim.sim_id)
-            for key in sim.planned_keys:
-                if state.in_flight.get(key) == sim.sim_id:
-                    del state.in_flight[key]
-        state.pending_jobs = [s for s in state.pending_jobs if not s.killed]
-
-    def _estimate_wait(self, state: _ContextState, key: int, now: float) -> float:
-        """Estimated seconds until ``key`` is on disk (Sec. III-C status)."""
-        sim_id = state.in_flight.get(key)
-        perf = state.context.perf
-        alpha = state.alpha_ema.value
-        if sim_id is None or sim_id not in state.sims:
-            # Queued or unknown: full latency plus the worst-case interval.
-            return alpha + state.context.geometry.outputs_per_restart_interval * perf.tau(
-                state.context.config.default_parallelism_level
-            )
-        sim = state.sims[sim_id]
-        tau = perf.tau(sim.parallelism_level)
-        try:
-            position = sim.planned_keys.index(key) + 1
-        except ValueError:
-            position = len(sim.planned_keys)
-        expected = alpha + position * tau
-        elapsed = now - sim.launch_time
-        return max(0.0, expected - elapsed)
+    # ------------------------------------------------------------------ #
+    def _dispatch_notification(self, notification: Notification) -> None:
+        # Read ``self._notify`` at delivery time: in-process front ends
+        # (LocalConnection, the DES router) splice their own fan-out in by
+        # rebinding the attribute after construction.
+        self._notify(notification)

@@ -14,6 +14,11 @@ Client -> DV requests (each carries a ``req`` sequence number):
 ``wclose``   a *simulator* closed an output file (file-ready signal)
 ``bitrep``   compare a file against its recorded checksum
 ``finalize`` detach the client (``SIMFS_Finalize``)
+``batch``    pipelined sub-ops: ``{"op": "batch", "ops": [...]}`` executes
+             the listed sub-ops in order and returns their reply payloads
+             as ``results`` in one frame (no nested ``batch``/``hello``)
+``stats``    snapshot of the DV metrics plane (per-shard summaries plus
+             every counter/gauge/histogram)
 ===========  =============================================================
 
 DV -> client messages: ``reply`` (matched to ``req``) and unsolicited

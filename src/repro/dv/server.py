@@ -1,9 +1,19 @@
-"""The DV daemon: a TCP front end over :class:`DVCoordinator` (Sec. III).
+"""The DV daemon: a TCP front end over the sharded coordinator (Sec. III).
 
-One thread per client connection; all coordinator access is serialized
-through the launcher's lock.  Unsolicited ``ready`` notifications are
+One thread per client connection.  Handler threads dispatch straight into
+the target context's shard — each shard serializes its own operations
+under its own lock, so clients of independent contexts proceed fully in
+parallel (no daemon-global lock).  Unsolicited ``ready`` notifications are
 pushed to the owning client's socket from whatever thread produced the
 file (a simulation worker or another client's handler).
+
+Beyond the classic per-file ops, the daemon speaks two service-level ops:
+
+* ``batch`` — one frame carrying a list of sub-ops executed in order,
+  their replies returned in one frame (pipelining for
+  ``SIMFS_Acquire``-heavy analyses);
+* ``stats`` — a snapshot of the metrics plane (per-shard summaries plus
+  every counter/gauge/histogram), also reachable as ``simfs-dv --stats``.
 
 The daemon is also usable in-process via :meth:`DVServer.start` /
 :meth:`DVServer.stop` — integration tests and the examples run it that
@@ -14,18 +24,25 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import socket
 import threading
 from dataclasses import dataclass
 
 from repro.core.context import SimulationContext
-from repro.core.errors import ErrorCode, SimFSError
+from repro.core.errors import ErrorCode, InvalidArgumentError, SimFSError
 from repro.dv.coordinator import DVCoordinator, Notification
 from repro.dv.launcher import ThreadedLauncher
 from repro.dv.protocol import MessageReader, send_message
+from repro.metrics import MetricsRegistry
 from repro.util.clock import WallClock
 
 __all__ = ["DVServer", "main"]
+
+#: Ops a ``batch`` frame may carry (no nesting, no handshakes).
+_BATCHABLE_OPS = frozenset(
+    {"open", "acquire", "release", "wclose", "bitrep", "attach", "finalize", "stats"}
+)
 
 
 @dataclass
@@ -43,14 +60,30 @@ class DVServer:
         self._host = host
         self._port = port
         self._clock = WallClock()
-        self.launcher = ThreadedLauncher(self._clock)
-        self.coordinator = DVCoordinator(self.launcher, notify=self._push_ready)
+        self.metrics = MetricsRegistry()
+        self.launcher = ThreadedLauncher(self._clock, metrics=self.metrics)
+        self.coordinator = DVCoordinator(
+            self.launcher, notify=self._push_ready, metrics=self.metrics
+        )
         self.launcher.bind(self.coordinator)
-        self._lock = self.launcher.lock
+        # Client table: mutated by accept/handler threads, read by notifier
+        # threads — every access goes through ``_clients_lock``.
         self._clients: dict[str, _ClientConn] = {}
+        self._clients_lock = threading.Lock()
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._running = False
+        self._handlers = {
+            "open": self._op_open,
+            "acquire": self._op_acquire,
+            "release": self._op_release,
+            "wclose": self._op_wclose,
+            "bitrep": self._op_bitrep,
+            "attach": self._op_attach,
+            "finalize": self._op_finalize,
+            "batch": self._op_batch,
+            "stats": self._op_stats,
+        }
 
     # ------------------------------------------------------------------ #
     # Configuration
@@ -64,8 +97,6 @@ class DVServer:
         tau_delay: float = 0.0,
     ) -> None:
         """Register a context and where its files live."""
-        import os
-
         os.makedirs(output_dir, exist_ok=True)
         os.makedirs(restart_dir, exist_ok=True)
 
@@ -75,25 +106,21 @@ class DVServer:
             except FileNotFoundError:
                 pass
 
-        self.coordinator.register_context(context, on_evict_file=delete_file)
+        shard = self.coordinator.register_context(context, on_evict_file=delete_file)
         self.launcher.register_context(
             context.name, context.driver, output_dir, restart_dir,
             alpha_delay=alpha_delay, tau_delay=tau_delay,
         )
         # Files already on disk (e.g. from the initial simulation) are part
         # of the cache state at daemon start.
-        state = self.coordinator.get_state(context.name)
         for fname in sorted(os.listdir(output_dir)):
             if context.driver.naming.is_output(fname):
                 key = context.key_of(fname)
                 cost = float(context.geometry.miss_cost(key))
-                state.area.insert(key, cost=cost)
+                shard.area.insert(key, cost=cost)
 
     def storage_path(self, context_name: str, filename: str) -> str:
-        import os
-
-        runtime = self.launcher._contexts[context_name]
-        return os.path.join(runtime.output_dir, filename)
+        return os.path.join(self.launcher.output_dir(context_name), filename)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -121,7 +148,10 @@ class DVServer:
                 self._listener.close()
             except OSError:
                 pass
-        for conn in list(self._clients.values()):
+        with self._clients_lock:
+            conns = list(self._clients.values())
+            self._clients.clear()
+        for conn in conns:
             try:
                 conn.sock.shutdown(socket.SHUT_RDWR)
             except OSError:
@@ -130,7 +160,6 @@ class DVServer:
                 conn.sock.close()
             except OSError:
                 pass
-        self._clients.clear()
 
     def __enter__(self) -> "DVServer":
         self.start()
@@ -149,6 +178,22 @@ class DVServer:
                 sock, _addr = self._listener.accept()
             except OSError:
                 return  # listener closed
+            try:
+                # Reply and ready frames are small; don't let Nagle's
+                # algorithm sit on them.  Keepalive makes the reader
+                # thread eventually notice half-open peers, so their
+                # client_id (reserved against duplicate hellos) frees up.
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+                # Default kernel keepalive idles for hours; probe after
+                # 60s so a crashed client's reserved client_id frees up
+                # within ~2 minutes instead.
+                if hasattr(socket, "TCP_KEEPIDLE"):
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_KEEPIDLE, 60)
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_KEEPINTVL, 15)
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_KEEPCNT, 4)
+            except OSError:
+                pass
             threading.Thread(
                 target=self._serve_client, args=(sock,), daemon=True
             ).start()
@@ -186,63 +231,74 @@ class DVServer:
             except OSError:
                 pass
 
-    def _handle_hello(self, sock: socket.socket, message: dict) -> _ClientConn:
+    def _handle_hello(self, sock: socket.socket, message: dict) -> _ClientConn | None:
         client_id = str(message.get("client_id"))
         context_name = message.get("context")
         conn = _ClientConn(client_id, sock, threading.Lock(), set())
+        with self._clients_lock:
+            if client_id in self._clients:
+                # A second hello reusing a live client_id would silently
+                # orphan the first connection's notifications: reject it.
+                send_message(
+                    sock,
+                    {
+                        "op": "reply",
+                        "req": message.get("req"),
+                        "error": int(ErrorCode.ERR_INVALID),
+                        "detail": f"client_id {client_id!r} is already connected",
+                    },
+                )
+                return None
+            self._clients[client_id] = conn
         error = int(ErrorCode.SUCCESS)
         detail = ""
         if context_name:
             try:
-                with self._lock:
-                    self.coordinator.client_connect(client_id, context_name)
+                self.coordinator.client_connect(client_id, context_name)
                 conn.contexts.add(context_name)
             except SimFSError as exc:
                 error, detail = int(exc.code), str(exc)
-        self._clients[client_id] = conn
         self._send(conn, {"op": "reply", "req": message.get("req"),
                           "error": error, "detail": detail})
         return conn
 
+    def _handler_for(self, op):
+        return self._handlers.get(op)
+
     def _dispatch(self, conn: _ClientConn, message: dict) -> None:
         op = message.get("op")
         req = message.get("req")
-        handler = {
-            "open": self._op_open,
-            "acquire": self._op_acquire,
-            "release": self._op_release,
-            "wclose": self._op_wclose,
-            "bitrep": self._op_bitrep,
-            "attach": self._op_attach,
-            "finalize": self._op_finalize,
-        }.get(op)
+        handler = self._handler_for(op)
         if handler is None:
             self._send(conn, {"op": "reply", "req": req,
                               "error": int(ErrorCode.ERR_PROTOCOL),
                               "detail": f"unknown op {op!r}"})
             return
+        payload = self._run_op(conn, handler, message)
+        payload.update({"op": "reply", "req": req})
+        self._send(conn, payload)
+
+    def _run_op(self, conn: _ClientConn, handler, message: dict) -> dict:
+        """Execute one op body, mapping SimFS errors to reply payloads."""
         try:
             payload = handler(conn, message)
             payload.setdefault("error", int(ErrorCode.SUCCESS))
         except SimFSError as exc:
             payload = {"error": int(exc.code), "detail": str(exc)}
-        payload.update({"op": "reply", "req": req})
-        self._send(conn, payload)
+        return payload
 
     # -- op handlers ------------------------------------------------------ #
     def _op_attach(self, conn: _ClientConn, message: dict) -> dict:
         context = message["context"]
-        with self._lock:
-            self.coordinator.client_connect(conn.client_id, context)
+        self.coordinator.client_connect(conn.client_id, context)
         conn.contexts.add(context)
         return {}
 
     def _op_open(self, conn: _ClientConn, message: dict) -> dict:
-        with self._lock:
-            result = self.coordinator.handle_open(
-                conn.client_id, message["context"], message["file"],
-                self._clock.now(),
-            )
+        result = self.coordinator.handle_open(
+            conn.client_id, message["context"], message["file"],
+            self._clock.now(),
+        )
         return {
             "available": result.available,
             "state": result.state.value,
@@ -250,11 +306,10 @@ class DVServer:
         }
 
     def _op_acquire(self, conn: _ClientConn, message: dict) -> dict:
-        with self._lock:
-            results = self.coordinator.handle_acquire(
-                conn.client_id, message["context"], list(message["files"]),
-                self._clock.now(),
-            )
+        results = self.coordinator.handle_acquire(
+            conn.client_id, message["context"], list(message["files"]),
+            self._clock.now(),
+        )
         return {
             "results": [
                 {"file": r.filename, "available": r.available,
@@ -264,51 +319,103 @@ class DVServer:
         }
 
     def _op_release(self, conn: _ClientConn, message: dict) -> dict:
-        with self._lock:
-            self.coordinator.handle_release(
-                conn.client_id, message["context"], message["file"],
-                self._clock.now(),
-            )
+        self.coordinator.handle_release(
+            conn.client_id, message["context"], message["file"],
+            self._clock.now(),
+        )
         return {}
 
     def _op_wclose(self, conn: _ClientConn, message: dict) -> dict:
-        with self._lock:
-            self.coordinator.sim_file_closed(
-                message["context"], message["file"], self._clock.now()
-            )
+        self.coordinator.sim_file_closed(
+            message["context"], message["file"], self._clock.now()
+        )
         return {}
 
     def _op_bitrep(self, conn: _ClientConn, message: dict) -> dict:
         context = message["context"]
         filename = message["file"]
-        path = message.get("path") or self.storage_path(context, filename)
-        with self._lock:
-            matches = self.coordinator.handle_bitrep(context, filename, path)
+        path = message.get("path")
+        if path is None:
+            path = self.storage_path(context, filename)
+        else:
+            self._check_bitrep_path(context, path)
+        matches = self.coordinator.handle_bitrep(context, filename, path)
         return {"matches": matches}
+
+    def _check_bitrep_path(self, context: str, path: str) -> None:
+        """A client-supplied ``path`` must stay inside the context's
+        storage or restart directory — the checksum result would otherwise
+        let a TCP client probe arbitrary server files byte-for-byte."""
+        real = os.path.realpath(path)
+        for allowed in (
+            self.launcher.output_dir(context),
+            self.launcher.restart_dir(context),
+        ):
+            base = os.path.realpath(allowed)
+            if real == base or real.startswith(base + os.sep):
+                return
+        raise InvalidArgumentError(
+            f"bitrep path {path!r} is outside the {context!r} storage areas"
+        )
 
     def _op_finalize(self, conn: _ClientConn, message: dict) -> dict:
         context = message["context"]
-        with self._lock:
-            self.coordinator.client_disconnect(
-                conn.client_id, context, self._clock.now()
-            )
+        self.coordinator.client_disconnect(
+            conn.client_id, context, self._clock.now()
+        )
         conn.contexts.discard(context)
         return {}
 
+    def _op_batch(self, conn: _ClientConn, message: dict) -> dict:
+        """Pipelined sub-ops: one request frame, one reply frame.
+
+        Sub-ops execute in order; each entry of ``results`` is the payload
+        the sub-op would have produced as its own reply (including its own
+        ``error`` field), so one failing sub-op does not abort the rest.
+        """
+        sub_ops = message.get("ops")
+        if not isinstance(sub_ops, list):
+            raise InvalidArgumentError("batch requires a list under 'ops'")
+        results = []
+        for sub in sub_ops:
+            sub_op = sub.get("op") if isinstance(sub, dict) else None
+            handler = self._handler_for(sub_op) if sub_op in _BATCHABLE_OPS else None
+            if handler is None:
+                results.append({
+                    "op": sub_op,
+                    "error": int(ErrorCode.ERR_PROTOCOL),
+                    "detail": f"unknown or non-batchable sub-op {sub_op!r}",
+                })
+                continue
+            payload = self._run_op(conn, handler, sub)
+            payload["op"] = sub_op
+            results.append(payload)
+        return {"results": results}
+
+    def _op_stats(self, conn: _ClientConn, message: dict) -> dict:
+        snapshot = self.coordinator.stats_snapshot()
+        with self._clients_lock:
+            snapshot["server"] = {"connected_clients": len(self._clients)}
+        return {"stats": snapshot}
+
     # ------------------------------------------------------------------ #
     def _drop_client(self, conn: _ClientConn) -> None:
-        self._clients.pop(conn.client_id, None)
+        with self._clients_lock:
+            # Only remove our own entry — a rejected duplicate hello must
+            # not evict the live connection that owns the client_id.
+            if self._clients.get(conn.client_id) is conn:
+                del self._clients[conn.client_id]
         for context in list(conn.contexts):
             try:
-                with self._lock:
-                    self.coordinator.client_disconnect(
-                        conn.client_id, context, self._clock.now()
-                    )
+                self.coordinator.client_disconnect(
+                    conn.client_id, context, self._clock.now()
+                )
             except SimFSError:
                 pass
 
     def _push_ready(self, notification: Notification) -> None:
-        conn = self._clients.get(notification.client_id)
+        with self._clients_lock:
+            conn = self._clients.get(notification.client_id)
         if conn is None:
             return
         try:
@@ -330,10 +437,11 @@ class DVServer:
 
 
 # --------------------------------------------------------------------- #
-# CLI entry point: `simfs-dv --config dv.json`
+# CLI entry point: `simfs-dv --config dv.json` / `simfs-dv --stats`
 # --------------------------------------------------------------------- #
 def main(argv: list[str] | None = None) -> int:
-    """Run a DV daemon from a JSON configuration file.
+    """Run a DV daemon from a JSON configuration file, or query a running
+    daemon with ``--stats``.
 
     Config schema::
 
@@ -349,8 +457,25 @@ def main(argv: list[str] | None = None) -> int:
     from repro.simulators import CosmoDriver, FlashDriver, SyntheticDriver
 
     parser = argparse.ArgumentParser(prog="simfs-dv", description=main.__doc__)
-    parser.add_argument("--config", required=True, help="JSON config path")
+    parser.add_argument("--config", help="JSON config path (daemon mode)")
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print the stats snapshot of a running daemon and exit",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="daemon host for --stats (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7878,
+                        help="daemon port for --stats (default 7878)")
     args = parser.parse_args(argv)
+
+    if args.stats:
+        from repro.client.dvlib import fetch_stats
+
+        print(json.dumps(fetch_stats(args.host, args.port), indent=1, sort_keys=True))
+        return 0
+    if not args.config:
+        parser.error("--config is required unless --stats is given")
+
     with open(args.config, encoding="utf-8") as fh:
         config = json.load(fh)
 

@@ -1,0 +1,210 @@
+"""Thread-safe metrics plane for the DV service.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments:
+
+* :class:`Counter` — monotonically increasing totals (ops served, cache
+  hits, re-simulations launched);
+* :class:`Gauge` — instantaneous values (running simulations, resident
+  bytes, connected clients);
+* :class:`Histogram` — distributions over fixed bucket bounds (op service
+  times, estimated waits).
+
+Every DV deployment carries one registry: the TCP daemon exposes it
+through the ``stats`` protocol op (and ``simfs-dv --stats``), the DES
+front end through :meth:`repro.des.components.VirtualSimFS.stats`.
+Instruments are cheap enough to update on the data path — one small lock
+per instrument, no allocation after creation — so shards, the cache
+manager and the launcher all record into the same plane.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from collections.abc import Sequence
+
+from repro.core.errors import InvalidArgumentError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram bucket upper bounds (seconds-flavoured, log-spaced).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 600.0
+)
+
+
+class Counter:
+    """Monotonic counter."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise InvalidArgumentError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Instantaneous value that can move both ways."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``buckets`` are upper bounds; observations beyond the last bound land
+    in an implicit overflow bucket.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise InvalidArgumentError(f"histogram {name!r} needs >= 1 bucket")
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._bucket_counts = [0] * (len(bounds) + 1)  # +1 overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+
+    def observe(self, value: float) -> None:
+        idx = bisect_right(self.bounds, value)
+        with self._lock:
+            self._bucket_counts[idx] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "type": "histogram",
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "buckets": {
+                    **{str(b): c for b, c in zip(self.bounds, self._bucket_counts)},
+                    "+inf": self._bucket_counts[-1],
+                },
+            }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: repeated calls
+    with the same name return the same instrument, so independent
+    subsystems (a shard, the cache manager, the launcher) can share series
+    without plumbing instrument objects around.  Requesting an existing
+    name as a different instrument type is an error.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, lambda: Gauge(name, help))
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, lambda: Histogram(name, help, buckets)
+        )
+
+    def _get_or_create(self, cls, name: str, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+        if not isinstance(metric, cls):
+            raise InvalidArgumentError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-serializable view of every instrument (the ``stats`` op)."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metric.snapshot() for name, metric in sorted(metrics.items())}

@@ -76,3 +76,30 @@ class TestReplay:
             report = json.loads(capsys.readouterr().out)
             assert report["pattern"] == pattern
             assert report["simulated_outputs"] >= 0
+
+
+class TestDvStats:
+    def test_dv_stats_queries_running_daemon(self, tmp_path, capsys):
+        from repro.core.context import ContextConfig, SimulationContext
+        from repro.core.perfmodel import PerformanceModel
+        from repro.dv.server import DVServer
+        from repro.simulators import SyntheticDriver
+
+        config = ContextConfig(name="cli", delta_d=2, delta_r=8, num_timesteps=32)
+        driver = SyntheticDriver(config.geometry, prefix="cli", cells=8)
+        context = SimulationContext(
+            config=config, driver=driver,
+            perf=PerformanceModel(tau_sim=0.001, alpha_sim=0.0),
+        )
+        server = DVServer()
+        server.add_context(context, str(tmp_path / "o"), str(tmp_path / "r"))
+        server.start()
+        try:
+            host, port = server.address
+            code = main(["dv-stats", "--host", host, "--port", str(port)])
+            assert code == 0
+            stats = json.loads(capsys.readouterr().out)
+            assert [c["context"] for c in stats["contexts"]] == ["cli"]
+            assert "metrics" in stats
+        finally:
+            server.stop()

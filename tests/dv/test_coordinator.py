@@ -11,7 +11,6 @@ from repro.core.errors import (
 )
 from repro.core.perfmodel import PerformanceModel
 from repro.core.status import FileState
-from repro.core.steps import StepGeometry
 from repro.dv.coordinator import DVCoordinator
 from repro.simulators import SyntheticDriver
 

@@ -1,7 +1,6 @@
 """Full-stack tests over the in-process LocalConnection."""
 
 import numpy as np
-import pytest
 
 from repro.client import (
     LocalConnection,
@@ -12,7 +11,7 @@ from repro.client import (
     simfs_init,
 )
 from repro.core.errors import ErrorCode
-from repro.simio import decode, install_hooks, sio_open
+from repro.simio import install_hooks, sio_open
 from tests.integration.conftest import build_server
 
 
@@ -215,7 +214,7 @@ class TestEvictionRoundTrip:
                     on_disk = {
                         f
                         for f in os.listdir(
-                            server.launcher._contexts[context.name].output_dir
+                            server.launcher.output_dir(context.name)
                         )
                         if context.driver.naming.is_output(f)
                     }

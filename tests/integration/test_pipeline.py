@@ -12,7 +12,6 @@ import pytest
 
 from repro.client import LocalConnection, SimFSSession
 from repro.core.context import ContextConfig, SimulationContext
-from repro.core.errors import RestartFailedError
 from repro.core.perfmodel import PerformanceModel
 from repro.dv.server import DVServer
 from repro.simulators import ArchiveCopyDriver, PipelineDriver, SyntheticDriver

@@ -8,17 +8,15 @@ import pytest
 from repro.client import SimFSSession, TcpConnection, VirtualizedHooks
 from repro.core.errors import ContextError
 from repro.simio import install_hooks, sio_open
-from tests.integration.conftest import build_server
 
 
 def connect(server, context):
     host, port = server.address
-    runtime = server.launcher._contexts[context.name]
     return TcpConnection(
         host,
         port,
-        storage_dirs={context.name: runtime.output_dir},
-        restart_dirs={context.name: runtime.restart_dir},
+        storage_dirs={context.name: server.launcher.output_dir(context.name)},
+        restart_dirs={context.name: server.launcher.restart_dir(context.name)},
     )
 
 

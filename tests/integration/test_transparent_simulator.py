@@ -68,7 +68,7 @@ class TestSimulatorRole:
         final = session.wait(request, timeout=10.0)
         assert final.ok
         # And the files physically live in the storage area, not scratch.
-        storage = srv.launcher._contexts["ext"].output_dir
+        storage = srv.launcher.output_dir("ext")
         assert os.path.exists(os.path.join(storage, context.filename_of(2)))
         assert not os.path.exists(
             os.path.join(str(tmp_path / "scratch"), context.filename_of(2))

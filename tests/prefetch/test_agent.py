@@ -1,6 +1,5 @@
 """Tests for the prefetch agent state machine."""
 
-import pytest
 
 from repro.core.context import ContextConfig
 from repro.core.perfmodel import PerformanceModel, ScalingModel

@@ -7,7 +7,6 @@ output files.
 
 import os
 
-import numpy as np
 import pytest
 
 from repro.core.errors import InvalidArgumentError
