@@ -4,14 +4,25 @@ Every ``bench_figXX`` module computes the corresponding figure's data
 series once (inside pytest-benchmark), prints it as an aligned table, and
 writes it to ``benchmarks/results/`` so the numbers survive the pytest
 output capture.  EXPERIMENTS.md records the paper-vs-measured comparison.
+
+Performance-trajectory benchmarks additionally persist machine-readable
+results: :func:`emit_json` writes a ``BENCH_<name>.json`` file at the
+repository root (uploaded as a CI artifact by the ``bench-smoke`` job),
+so throughput/latency numbers are comparable across commits, not just
+across the two configurations of one run.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import sys
 from collections.abc import Sequence
+from typing import Any
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
@@ -36,6 +47,24 @@ def emit(name: str, title: str, headers: Sequence[str], rows: Sequence[Sequence]
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as fh:
         fh.write(table)
+
+
+def emit_json(name: str, payload: dict[str, Any]) -> str:
+    """Persist a benchmark's results as ``BENCH_<name>.json`` at the repo
+    root; returns the path written.  The payload is wrapped with enough
+    environment detail to make cross-commit comparisons honest."""
+    document = {
+        "benchmark": name,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "results": payload,
+    }
+    path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def run_once(benchmark, func):

@@ -66,6 +66,29 @@ def test_sdf_encode_decode(benchmark):
     np.testing.assert_array_equal(out, arr)
 
 
+@pytest.mark.parametrize("policy", ["lru", "arc", "lirs"])
+def test_victim_selection_under_heavy_pinning(benchmark, policy):
+    """Victim choice with a cold end crowded by pinned entries — the
+    workload shape of a long analysis holding a window of steps open.
+    LRU is O(1) here (evictable-order dict); ARC/LIRS skip pinned keys
+    via a set instead of a manager callback per key."""
+    area = StorageArea(policy, capacity_bytes=1 << 30, entry_bytes=1)
+    total = 4096
+    for key in range(total):
+        area.access(key)
+        area.insert(key, cost=1.0)
+        if key != total - 1:
+            area.pin(key)  # everything but the newest entry is referenced
+
+    def pick():
+        victim = None
+        for _ in range(1000):
+            victim = area.policy.victim(area._is_evictable)
+        return victim
+
+    assert benchmark(pick) == total - 1
+
+
 def test_protocol_codec(benchmark):
     message = {
         "op": "acquire",
@@ -79,6 +102,21 @@ def test_protocol_codec(benchmark):
 
     out = benchmark(roundtrip)
     assert out["files"] == message["files"]
+
+
+def test_binary_codec_hot_ops(benchmark):
+    """Length-prefixed binary codec round trip for the hottest frame."""
+    from repro.dv.protocol import CODEC_BINARY, StreamDecoder, encode_binary
+
+    message = {"op": "open", "req": 42, "context": "cosmo",
+               "file": "cosmo_out_00000042.sdf"}
+    decoder = StreamDecoder(CODEC_BINARY)
+
+    def roundtrip():
+        decoder.feed(encode_binary(message))
+        return decoder.next_message()
+
+    assert benchmark(roundtrip) == message
 
 
 def test_step_geometry_math(benchmark):

@@ -1,0 +1,355 @@
+"""Wire-path benchmark: codec x server-front-end throughput and latency.
+
+Measures the client<->DV control channel itself (paper Fig. 4: the DV sits
+on every transparent ``open``), comparing the four deployments the codec
+negotiation and the selector refactor made possible:
+
+* ``legacy + threaded``  — the v1 wire path: newline JSON, one thread and
+  one ``sendall`` per connection/message (the baseline);
+* ``binary + threaded``  — codec win in isolation;
+* ``legacy + selector``  — event-loop win in isolation;
+* ``binary + selector``  — the shipped default.
+
+Three series, persisted as ``BENCH_wire.json`` at the repo root (the
+perf-trajectory artifact the CI ``bench-smoke`` job uploads):
+
+``throughput``
+    N clients drive pipelined ``open`` requests with a fixed in-flight
+    window against a warm context (every step resident, so each message
+    is pure control-plane).  Headline number: aggregate msgs/sec, plus
+    the binary+selector vs legacy+threaded speedup.
+``latency``
+    One client, sequential round trips; p50/p99 microseconds.
+``codec``
+    Pure encode/decode cost (ns/op) of the hot messages under each codec,
+    no sockets involved.
+
+Run directly (``python benchmarks/bench_wire.py [--smoke]``) or under
+pytest (``pytest benchmarks/bench_wire.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _harness import emit, emit_json  # noqa: E402
+
+from repro.core.context import ContextConfig, SimulationContext  # noqa: E402
+from repro.core.errors import ProtocolError  # noqa: E402
+from repro.core.perfmodel import PerformanceModel  # noqa: E402
+from repro.dv.protocol import (  # noqa: E402
+    CODEC_BINARY,
+    CODEC_LEGACY,
+    PROTOCOL_VERSION,
+    MessageReader,
+    encode_frame,
+    encode_open_request,
+    send_message,
+)
+from repro.dv.server import DVServer  # noqa: E402
+from repro.simulators import SyntheticDriver  # noqa: E402
+
+import socket  # noqa: E402
+
+CONFIGS = [
+    (CODEC_LEGACY, "threaded"),
+    (CODEC_BINARY, "threaded"),
+    (CODEC_LEGACY, "selector"),
+    (CODEC_BINARY, "selector"),
+]
+BASELINE = (CODEC_LEGACY, "threaded")
+SHIPPED = (CODEC_BINARY, "selector")
+
+#: Full-run / smoke-run sizing.
+FULL = {"clients": 8, "window": 64, "seconds": 2.0, "latency_ops": 2000,
+        "codec_iters": 20000}
+SMOKE = {"clients": 4, "window": 32, "seconds": 0.5, "latency_ops": 400,
+         "codec_iters": 4000}
+
+
+def build_server(workdir: str, mode: str) -> tuple[DVServer, SimulationContext]:
+    """A started daemon with one warm context (every output resident)."""
+    server = DVServer(mode=mode)
+    config = ContextConfig(name="wire", delta_d=2, delta_r=8, num_timesteps=64)
+    driver = SyntheticDriver(config.geometry, prefix="wire", cells=64)
+    context = SimulationContext(
+        config=config, driver=driver,
+        perf=PerformanceModel(tau_sim=0.001, alpha_sim=0.0),
+    )
+    out = os.path.join(workdir, "out")
+    rst = os.path.join(workdir, "rst")
+    os.makedirs(out, exist_ok=True)
+    os.makedirs(rst, exist_ok=True)
+    produced = driver.execute(
+        driver.make_job("wire", 0, 31, write_restarts=True), out, rst
+    )
+    for fname in produced:
+        context.record_checksum(fname, driver.checksum(os.path.join(out, fname)))
+    server.add_context(context, out, rst)
+    server.start()
+    return server, context
+
+
+class RawClient:
+    """Minimal protocol-level client: its own hello/negotiation, direct
+    frame encode/decode — no DVLib reply-matching machinery in the way,
+    so the numbers are the wire path, not the client library."""
+
+    def __init__(self, host: str, port: int, codec: str, client_id: str) -> None:
+        self.sock = socket.create_connection((host, port), timeout=10.0)
+        self.sock.settimeout(None)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.codec = CODEC_LEGACY
+        hello = {"op": "hello", "req": 0, "client_id": client_id,
+                 "context": "wire"}
+        if codec != CODEC_LEGACY:
+            hello["vers"] = PROTOCOL_VERSION
+            hello["codec"] = codec
+        send_message(self.sock, hello)
+        self.reader = MessageReader(self.sock)
+        reply = self.reader.read_message()
+        assert reply is not None and not reply.get("error"), reply
+        granted = reply.get("codec", CODEC_LEGACY)
+        if granted != CODEC_LEGACY:
+            self.codec = granted
+            self.reader.set_codec(granted)
+        assert self.codec == codec, f"wanted {codec}, negotiated {self.codec}"
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def read_reply(self) -> dict:
+        """Next non-``ready`` frame (the warm context never notifies,
+        but stay robust)."""
+        while True:
+            message = self.reader.read_message()
+            if message is None:
+                raise ProtocolError("connection closed mid-benchmark")
+            if message.get("op") == "reply":
+                return message
+
+
+def _pipelined_worker(
+    host: str, port: int, codec: str, slot: int, filename: str,
+    window: int, stop_at: list[float], start_gate: threading.Event,
+    counts: list[int], errors: list[Exception],
+) -> None:
+    """Keep ``window`` open requests in flight; count completed replies."""
+    try:
+        client = RawClient(host, port, codec, f"bench-wire-{slot}")
+        try:
+            req = 0
+            in_flight = 0
+            start_gate.wait()
+            while time.perf_counter() < stop_at[0]:
+                while in_flight < window:
+                    req += 1
+                    client.sock.sendall(encode_open_request(
+                        req, "wire", filename, client.codec
+                    ))
+                    in_flight += 1
+                client.read_reply()
+                in_flight -= 1
+                counts[slot] += 1
+            while in_flight > 0:  # drain so the server ends clean
+                client.read_reply()
+                in_flight -= 1
+                counts[slot] += 1
+        finally:
+            client.close()
+    except Exception as exc:  # surfaced after join
+        errors.append(exc)
+
+
+def measure_throughput(codec: str, mode: str, sizing: dict) -> float:
+    """Aggregate pipelined open msgs/sec for one (codec, server) config."""
+    with tempfile.TemporaryDirectory(prefix=f"bench-wire-{mode}-") as workdir:
+        server, context = build_server(workdir, mode)
+        try:
+            host, port = server.address
+            filename = context.filename_of(1)
+            clients = sizing["clients"]
+            counts = [0] * clients
+            errors: list[Exception] = []
+            start_gate = threading.Event()
+            stop_at = [0.0]
+            threads = [
+                threading.Thread(
+                    target=_pipelined_worker,
+                    args=(host, port, codec, slot, filename, sizing["window"],
+                          stop_at, start_gate, counts, errors),
+                )
+                for slot in range(clients)
+            ]
+            for t in threads:
+                t.start()
+            time.sleep(0.2)  # let every client finish its handshake
+            stop_at[0] = time.perf_counter() + sizing["seconds"]
+            begin = time.perf_counter()
+            start_gate.set()
+            for t in threads:
+                t.join(timeout=60.0)
+            elapsed = time.perf_counter() - begin
+            if errors:
+                raise errors[0]
+            return sum(counts) / elapsed
+        finally:
+            server.stop()
+
+
+def measure_latency(codec: str, mode: str, sizing: dict) -> dict:
+    """Sequential round-trip latency distribution (one client)."""
+    with tempfile.TemporaryDirectory(prefix=f"bench-wire-lat-{mode}-") as workdir:
+        server, context = build_server(workdir, mode)
+        try:
+            host, port = server.address
+            filename = context.filename_of(1)
+            client = RawClient(host, port, codec, "bench-wire-lat")
+            try:
+                samples = []
+                for req in range(1, sizing["latency_ops"] + 1):
+                    frame = encode_open_request(
+                        req, "wire", filename, client.codec
+                    )
+                    begin = time.perf_counter_ns()
+                    client.sock.sendall(frame)
+                    client.read_reply()
+                    samples.append(time.perf_counter_ns() - begin)
+            finally:
+                client.close()
+            samples.sort()
+            quantiles = statistics.quantiles(samples, n=100)
+            return {
+                "p50_us": quantiles[49] / 1e3,
+                "p99_us": quantiles[98] / 1e3,
+                "mean_us": statistics.fmean(samples) / 1e3,
+            }
+        finally:
+            server.stop()
+
+
+def measure_codec(sizing: dict) -> list[dict]:
+    """Pure encode/decode ns/op for the hot messages, both codecs."""
+    from repro.dv.protocol import StreamDecoder
+
+    messages = {
+        "open": {"op": "open", "req": 12345, "context": "wire",
+                 "file": "wire_output_00042.sdf"},
+        "open-reply": {"op": "reply", "req": 12345, "error": 0,
+                       "available": True, "state": "on_disk", "wait": 0.0},
+        "ready": {"op": "ready", "context": "wire",
+                  "file": "wire_output_00042.sdf", "ok": True},
+    }
+    iters = sizing["codec_iters"]
+    rows = []
+    for codec in (CODEC_LEGACY, CODEC_BINARY):
+        for name, message in messages.items():
+            blob = encode_frame(message, codec)
+            begin = time.perf_counter_ns()
+            for _ in range(iters):
+                encode_frame(message, codec)
+            encode_ns = (time.perf_counter_ns() - begin) / iters
+            decoder = StreamDecoder(codec)
+            begin = time.perf_counter_ns()
+            for _ in range(iters):
+                decoder.feed(blob)
+                decoder.next_message()
+            decode_ns = (time.perf_counter_ns() - begin) / iters
+            rows.append({"codec": codec, "message": name,
+                         "bytes": len(blob), "encode_ns": round(encode_ns, 1),
+                         "decode_ns": round(decode_ns, 1)})
+    return rows
+
+
+def compute(sizing: dict) -> dict:
+    throughput = {}
+    latency = {}
+    for codec, mode in CONFIGS:
+        key = f"{codec}+{mode}"
+        throughput[key] = measure_throughput(codec, mode, sizing)
+        latency[key] = measure_latency(codec, mode, sizing)
+    speedup = (
+        throughput[f"{SHIPPED[0]}+{SHIPPED[1]}"]
+        / throughput[f"{BASELINE[0]}+{BASELINE[1]}"]
+    )
+    return {
+        "throughput_msgs_per_sec": {k: round(v, 1) for k, v in throughput.items()},
+        "speedup_shipped_vs_baseline": round(speedup, 2),
+        "latency": latency,
+        "codec_ns": measure_codec(sizing),
+        "sizing": sizing,
+    }
+
+
+def report(results: dict) -> None:
+    throughput_rows = [
+        [key, round(value, 1)]
+        for key, value in results["throughput_msgs_per_sec"].items()
+    ]
+    throughput_rows.append(["speedup", results["speedup_shipped_vs_baseline"]])
+    emit(
+        "wire_throughput",
+        "Pipelined open throughput by codec and server front end",
+        ["config", "msgs/s"],
+        throughput_rows,
+    )
+    emit(
+        "wire_latency",
+        "Sequential round-trip latency by codec and server front end",
+        ["config", "p50 us", "p99 us", "mean us"],
+        [
+            [key, lat["p50_us"], lat["p99_us"], lat["mean_us"]]
+            for key, lat in results["latency"].items()
+        ],
+    )
+    emit(
+        "wire_codec",
+        "Codec encode/decode cost (hot messages)",
+        ["codec", "message", "bytes", "encode ns", "decode ns"],
+        [
+            [r["codec"], r["message"], r["bytes"], r["encode_ns"], r["decode_ns"]]
+            for r in results["codec_ns"]
+        ],
+    )
+    path = emit_json("wire", results)
+    print(f"wrote {path}")
+
+
+def test_wire_throughput(benchmark):
+    from _harness import run_once
+
+    results = run_once(benchmark, lambda: compute(SMOKE))
+    report(results)
+    speedup = results["speedup_shipped_vs_baseline"]
+    # Full-sizing runs land at >= 2x (the committed BENCH_wire.json is the
+    # trajectory record); the short smoke windows are noisier, so the
+    # in-test regression floor leaves headroom for scheduler jitter.
+    assert speedup >= 1.6, (
+        f"binary+selector vs legacy+threaded speedup {speedup:.2f}x "
+        "below the regression floor"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="short run for CI (fewer clients, less time)")
+    args = parser.parse_args(argv)
+    results = compute(SMOKE if args.smoke else FULL)
+    report(results)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,12 @@ class ARCPolicy(ReplacementPolicy):
         self._p = 0.0  # target size of T1
         # Ghost-hit keys whose next insertion goes straight to T2.
         self._promote_on_insert: set[int] = set()
+        # Keys the manager reported as pinned (refcount > 0).  ARC's
+        # REPLACE rule must still walk T1/T2 in order (victim choice
+        # depends on list membership, not recency alone, so the LRU-style
+        # O(1) evictable list does not transfer); the set lets the walk
+        # skip pinned entries without a callback per key.
+        self._pinned: set[int] = set()
 
     # ------------------------------------------------------------------ #
     def record_access(self, key: int) -> bool:
@@ -80,8 +86,15 @@ class ARCPolicy(ReplacementPolicy):
             self._t1.move_to_end(key)
         self._bound_ghosts()
 
+    def record_pin(self, key: int) -> None:
+        self._pinned.add(key)
+
+    def record_unpin(self, key: int) -> None:
+        self._pinned.discard(key)
+
     def record_evict(self, key: int) -> None:
         self.stats.evictions += 1
+        self._pinned.discard(key)
         if key in self._t1:
             self._t1.pop(key)
             self._b1[key] = None
@@ -100,7 +113,7 @@ class ARCPolicy(ReplacementPolicy):
         )
         for lst in ordered_lists:
             for key in lst:  # LRU first
-                if is_evictable(key):
+                if key not in self._pinned and is_evictable(key):
                     return key
         return None
 

@@ -61,6 +61,16 @@ class ReplacementPolicy(abc.ABC):
         Choose a resident entry to evict among those for which
         ``is_evictable(key)`` is True (i.e. reference counter zero), or
         return ``None`` if no entry may be evicted.
+
+    Two optional events let policies track pinning themselves instead of
+    rediscovering it through ``is_evictable`` scans:
+
+    ``record_pin(key)`` / ``record_unpin(key)``
+        The entry's reference counter left / returned to zero.  The
+        storage-area manager reports only the 0↔1 transitions.  Default
+        implementations are no-ops, so policies driven without a manager
+        (unit tests, trace replays) keep working — ``is_evictable``
+        remains the authority during victim selection either way.
     """
 
     name: str = "base"
@@ -89,6 +99,12 @@ class ReplacementPolicy(abc.ABC):
     @abc.abstractmethod
     def victim(self, is_evictable: Callable[[int], bool]) -> int | None:
         """Pick an evictable resident entry, or ``None``."""
+
+    def record_pin(self, key: int) -> None:
+        """Optional: ``key``'s reference counter just left zero."""
+
+    def record_unpin(self, key: int) -> None:
+        """Optional: ``key``'s reference counter just returned to zero."""
 
     # -- introspection -------------------------------------------------- #
     @abc.abstractmethod

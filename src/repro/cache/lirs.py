@@ -45,6 +45,12 @@ class LIRSPolicy(ReplacementPolicy):
         self._state: dict[int, str] = {}     # key -> _LIR | _HIR (if known)
         self._resident: set[int] = set()
         self._ghost_bound = 2 * capacity_entries + 16
+        # Keys the manager reported as pinned (refcount > 0).  LIRS victim
+        # selection must still walk Q (and fall back to S) in order — the
+        # LRU-style O(1) evictable list does not transfer because victims
+        # come from two structures with promotion between them — but the
+        # set lets the walk skip pinned entries without a callback per key.
+        self._pinned: set[int] = set()
 
     # ------------------------------------------------------------------ #
     def record_access(self, key: int) -> bool:
@@ -101,8 +107,15 @@ class LIRSPolicy(ReplacementPolicy):
         self._prune()
         self._bound_ghosts()
 
+    def record_pin(self, key: int) -> None:
+        self._pinned.add(key)
+
+    def record_unpin(self, key: int) -> None:
+        self._pinned.discard(key)
+
     def record_evict(self, key: int) -> None:
         self.stats.evictions += 1
+        self._pinned.discard(key)
         self._resident.discard(key)
         self._queue.pop(key, None)
         if self._state.get(key) == _LIR:
@@ -114,11 +127,16 @@ class LIRSPolicy(ReplacementPolicy):
 
     def victim(self, is_evictable: Callable[[int], bool]) -> int | None:
         for key in self._queue:  # front of Q first
-            if is_evictable(key):
+            if key not in self._pinned and is_evictable(key):
                 return key
         # No evictable resident HIR: fall back to the coldest LIR entry.
         for key in self._stack:  # bottom first
-            if key in self._resident and self._state.get(key) == _LIR and is_evictable(key):
+            if (
+                key in self._resident
+                and key not in self._pinned
+                and self._state.get(key) == _LIR
+                and is_evictable(key)
+            ):
                 return key
         return None
 

@@ -11,17 +11,41 @@ __all__ = ["LRUPolicy"]
 
 
 class LRUPolicy(ReplacementPolicy):
-    """Classic LRU over an ordered dict (least-recent first)."""
+    """Classic LRU with O(1) victim selection under pinning.
+
+    Two ordered dicts, both least-recent first:
+
+    * ``_order`` — every resident key (the full LRU recency order);
+    * ``_evictable`` — only the keys whose pin state is known to be
+      unpinned, kept in the same recency order.
+
+    When the storage-area manager reports pin transitions
+    (:meth:`record_pin` / :meth:`record_unpin`), the head of
+    ``_evictable`` *is* the victim, so selection is O(1) regardless of
+    how many pinned entries crowd the cold end — the old single-list
+    scheme degraded to a linear scan over every pinned-but-cold entry on
+    each eviction.  An unpin re-appends the key at the MRU end: the
+    release of a file an analysis just finished reading counts as its
+    most recent use.
+
+    Without pin notifications (a policy driven directly, as in trace
+    replays) ``_evictable`` simply mirrors ``_order`` and ``victim``
+    degrades gracefully to the original recency scan, with
+    ``is_evictable`` still the final authority either way.
+    """
 
     name = "lru"
 
     def __init__(self, capacity_entries: int) -> None:
         super().__init__(capacity_entries)
         self._order: OrderedDict[int, None] = OrderedDict()
+        self._evictable: OrderedDict[int, None] = OrderedDict()
 
     def record_access(self, key: int) -> bool:
         if key in self._order:
             self._order.move_to_end(key)
+            if key in self._evictable:
+                self._evictable.move_to_end(key)
             self.stats.hits += 1
             return True
         self.stats.misses += 1
@@ -30,14 +54,25 @@ class LRUPolicy(ReplacementPolicy):
     def record_insert(self, key: int, cost: float = 0.0) -> None:
         self._order[key] = None
         self._order.move_to_end(key)
+        self._evictable[key] = None
+        self._evictable.move_to_end(key)
         self.stats.insertions += 1
 
     def record_evict(self, key: int) -> None:
         self._order.pop(key, None)
+        self._evictable.pop(key, None)
         self.stats.evictions += 1
 
+    def record_pin(self, key: int) -> None:
+        self._evictable.pop(key, None)
+
+    def record_unpin(self, key: int) -> None:
+        if key in self._order:
+            self._evictable[key] = None
+            self._evictable.move_to_end(key)
+
     def victim(self, is_evictable: Callable[[int], bool]) -> int | None:
-        for key in self._order:  # least-recent first
+        for key in self._evictable:  # least-recent first; head hit = O(1)
             if is_evictable(key):
                 return key
         return None

@@ -180,7 +180,12 @@ class StorageArea:
         """Increment the reference counter of a resident entry."""
         if key not in self._sizes:
             raise InvalidArgumentError(f"cannot pin non-resident key {key}")
-        self._refcounts[key] = self._refcounts.get(key, 0) + 1
+        count = self._refcounts.get(key, 0)
+        self._refcounts[key] = count + 1
+        if count == 0:
+            # 0 -> 1 transition: let the policy take the entry out of its
+            # victim-candidate structure (O(1) selection under pinning).
+            self.policy.record_pin(key)
 
     def unpin(self, key: int) -> None:
         """Decrement the reference counter (released by ``SIMFS_Release``)."""
@@ -189,6 +194,7 @@ class StorageArea:
             raise InvalidArgumentError(f"unpin of key {key} with refcount 0")
         if count == 1:
             self._refcounts.pop(key)
+            self.policy.record_unpin(key)
         else:
             self._refcounts[key] = count - 1
 

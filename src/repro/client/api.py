@@ -109,8 +109,17 @@ class SimFSSession:
             raise _error_from_code(*first_error)
 
     def stats(self) -> dict:
-        """Metrics-plane snapshot of the DV this session talks to."""
-        return self.connection.stats()
+        """Metrics-plane snapshot of the DV this session talks to.
+
+        Over TCP the snapshot additionally carries ``client_wire`` — this
+        connection's own frame/byte counters and negotiated codec — so an
+        analysis can see both ends of the wire in one call.
+        """
+        snapshot = self.connection.stats()
+        wire_stats = getattr(self.connection, "wire_stats", None)
+        if callable(wire_stats):
+            snapshot["client_wire"] = wire_stats()
+        return snapshot
 
     # ------------------------------------------------------------------ #
     # Wait / test

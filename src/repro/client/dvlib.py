@@ -30,11 +30,21 @@ from dataclasses import dataclass
 from repro.core.errors import (
     ConnectionLostError,
     ErrorCode,
+    InvalidArgumentError,
     RestartFailedError,
     SimFSError,
 )
 from repro.core.status import FileState
-from repro.dv.protocol import MessageReader, send_message
+from repro.dv.protocol import (
+    CODEC_BINARY,
+    CODEC_LEGACY,
+    PROTOCOL_VERSION,
+    SUPPORTED_CODECS,
+    MessageReader,
+    encode_frame,
+    encode_open_request,
+    send_message,
+)
 
 __all__ = [
     "FileInfo",
@@ -199,7 +209,14 @@ class DVConnection(abc.ABC):
 
 # --------------------------------------------------------------------- #
 class TcpConnection(DVConnection):
-    """DVLib over the TCP wire protocol."""
+    """DVLib over the TCP wire protocol.
+
+    ``codec`` selects the wire format to *request*: the default
+    ``binary`` asks a v2 DV for length-prefixed binary frames during the
+    ``hello`` handshake and falls back to newline JSON automatically when
+    the server does not speak it (a v1 DV simply ignores the request).
+    Pass ``codec="legacy"`` to force newline JSON against any server.
+    """
 
     def __init__(
         self,
@@ -209,8 +226,11 @@ class TcpConnection(DVConnection):
         restart_dirs: dict[str, str],
         client_id: str | None = None,
         connect_timeout: float = 10.0,
+        codec: str = CODEC_BINARY,
     ) -> None:
         super().__init__(client_id)
+        if codec not in SUPPORTED_CODECS:
+            raise InvalidArgumentError(f"unknown codec {codec!r}")
         self._storage_dirs = dict(storage_dirs)
         self._restart_dirs = dict(restart_dirs)
         self._sock = socket.create_connection((host, port), timeout=connect_timeout)
@@ -226,11 +246,24 @@ class TcpConnection(DVConnection):
         self._replies: dict[int, queue.Queue] = {}
         self._replies_lock = threading.Lock()
         self._closed = False
+        self.codec = CODEC_LEGACY
+        # Client-side mirror of the daemon's wire counters (guarded by the
+        # matching send/replies locks; surfaced via :meth:`wire_stats`).
+        self._frames_sent = 0
+        self._bytes_sent = 0
+        self._frames_recv = 0
+        self._bytes_recv = 0
         self._listener = threading.Thread(
             target=self._listen, name=f"dvlib-listen-{self.client_id}", daemon=True
         )
-        # Handshake before the listener owns the socket.
-        send_message(self._sock, {"op": "hello", "req": 0, "client_id": self.client_id})
+        # Handshake before the listener owns the socket.  The hello (and
+        # its reply) always travel as legacy newline JSON so negotiation
+        # itself needs no codec; ``vers``/``codec`` request the upgrade.
+        hello = {"op": "hello", "req": 0, "client_id": self.client_id}
+        if codec != CODEC_LEGACY:
+            hello["vers"] = PROTOCOL_VERSION
+            hello["codec"] = codec
+        send_message(self._sock, hello)
         reader = MessageReader(self._sock)
         reply = reader.read_message()
         if reply is None or reply.get("op") != "reply":
@@ -238,8 +271,22 @@ class TcpConnection(DVConnection):
         if reply.get("error"):
             self._sock.close()
             raise _error_from_code(reply["error"], reply.get("detail", ""))
+        granted = reply.get("codec", CODEC_LEGACY)
+        if granted in SUPPORTED_CODECS and granted != CODEC_LEGACY:
+            self.codec = granted
+            reader.set_codec(granted)
         self._reader = reader
         self._listener.start()
+
+    def wire_stats(self) -> dict:
+        """Client-side wire counters (frames/bytes in each direction)."""
+        with self._send_lock:
+            sent = {"frames_sent": self._frames_sent,
+                    "bytes_sent": self._bytes_sent}
+        with self._replies_lock:
+            recv = {"frames_recv": self._frames_recv,
+                    "bytes_recv": self._bytes_recv}
+        return {"codec": self.codec, **sent, **recv}
 
     # -- plumbing ----------------------------------------------------------#
     def _listen(self) -> None:
@@ -248,6 +295,9 @@ class TcpConnection(DVConnection):
                 message = self._reader.read_message()
                 if message is None:
                     break
+                with self._replies_lock:
+                    self._frames_recv += 1
+                    self._bytes_recv = self._reader.bytes_read
                 if message.get("op") == "ready":
                     self.ready_table.record(
                         message["context"], message["file"], bool(message.get("ok", True))
@@ -271,11 +321,17 @@ class TcpConnection(DVConnection):
             raise ConnectionLostError("connection is closed")
         req = next(self._reqs)
         message["req"] = req
+        return self._rpc_send(req, encode_frame(message, self.codec), timeout)
+
+    def _rpc_send(self, req: int, data: bytes, timeout: float = 60.0) -> dict:
+        """Ship one pre-encoded request frame and await its reply."""
         waiter: queue.Queue = queue.Queue(maxsize=1)
         with self._replies_lock:
             self._replies[req] = waiter
         with self._send_lock:
-            send_message(self._sock, message)
+            self._frames_sent += 1
+            self._bytes_sent += len(data)
+            self._sock.sendall(data)
         try:
             reply = waiter.get(timeout=timeout)
         except queue.Empty:
@@ -310,7 +366,14 @@ class TcpConnection(DVConnection):
             pass
 
     def open(self, context: str, filename: str) -> FileInfo:
-        reply = self._rpc({"op": "open", "context": context, "file": filename})
+        # The transparent path's hottest RPC: packed straight from the
+        # fields, skipping the dict round-trip on the binary codec.
+        if self._closed:
+            raise ConnectionLostError("connection is closed")
+        req = next(self._reqs)
+        reply = self._rpc_send(
+            req, encode_open_request(req, context, filename, self.codec)
+        )
         return FileInfo(
             filename=filename,
             available=bool(reply["available"]),

@@ -6,6 +6,14 @@ cache, and prefetch-agent code as the real DV daemon; only the executor and
 the clock differ (DESIGN.md Sec. 6), which is what lets a 600-second
 restart latency cost microseconds of wall time in the Figs. 16-19
 experiments.
+
+Cancelled events stay in the heap as *tombstones* (removing an arbitrary
+heap entry is O(n)); they are skipped when popped.  Prefetch-heavy virtual
+experiments cancel a lot — every kill of a speculative re-simulation
+tombstones its production events — so the engine compacts the heap
+whenever tombstones outnumber live events, keeping long runs from
+accumulating dead entries (and ``pending`` is O(1) bookkeeping, not a
+scan).
 """
 
 from __future__ import annotations
@@ -19,6 +27,9 @@ from repro.core.errors import InvalidArgumentError
 
 __all__ = ["EventHandle", "DESEngine"]
 
+#: Below this queue size compaction is pointless churn.
+_COMPACT_MIN_QUEUE = 64
+
 
 @dataclass(order=True)
 class _Event:
@@ -26,6 +37,10 @@ class _Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Left the queue already (fired, skipped, or compacted away) — a
+    #: late ``cancel()`` on such an event must not touch the tombstone
+    #: accounting.
+    departed: bool = field(default=False, compare=False)
 
 
 @dataclass
@@ -33,9 +48,14 @@ class EventHandle:
     """Cancellable reference to a scheduled event."""
 
     _event: _Event
+    _engine: "DESEngine | None" = None
 
     def cancel(self) -> None:
+        if self._event.cancelled:
+            return
         self._event.cancelled = True
+        if self._engine is not None and not self._event.departed:
+            self._engine._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -53,7 +73,9 @@ class DESEngine:
         self._queue: list[_Event] = []
         self._seq = itertools.count()
         self._now = 0.0
+        self._tombstones = 0  # cancelled events still sitting in the heap
         self.events_processed = 0
+        self.compactions = 0
 
     def now(self) -> float:
         """Current virtual time in seconds."""
@@ -65,7 +87,7 @@ class DESEngine:
             raise InvalidArgumentError(f"delay must be >= 0, got {delay}")
         event = _Event(self._now + delay, next(self._seq), callback)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute virtual time ``when``."""
@@ -75,13 +97,15 @@ class DESEngine:
             )
         event = _Event(when, next(self._seq), callback)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def step(self) -> bool:
         """Fire the next event; returns False when the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event.departed = True
             if event.cancelled:
+                self._tombstones -= 1
                 continue
             self._now = event.time
             self.events_processed += 1
@@ -97,6 +121,8 @@ class DESEngine:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                head.departed = True
+                self._tombstones -= 1
                 continue
             if until is not None and head.time > until:
                 self._now = until
@@ -111,5 +137,26 @@ class DESEngine:
 
     @property
     def pending(self) -> int:
-        """Events still queued (including cancelled tombstones)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Events still queued, excluding cancelled tombstones."""
+        return len(self._queue) - self._tombstones
+
+    # ------------------------------------------------------------------ #
+    def _note_cancelled(self) -> None:
+        """An in-queue event was cancelled; compact when dead weight wins."""
+        self._tombstones += 1
+        if (
+            len(self._queue) >= _COMPACT_MIN_QUEUE
+            and self._tombstones * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones (O(live) instead of the
+        O(total log total) the dead entries would cost over time)."""
+        for event in self._queue:
+            if event.cancelled:
+                event.departed = True
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._tombstones = 0
+        self.compactions += 1

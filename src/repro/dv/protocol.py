@@ -1,13 +1,36 @@
-"""DV wire protocol: newline-delimited JSON over TCP (paper Fig. 4).
+"""DV wire protocol: framed messages over TCP (paper Fig. 4).
 
 The original SimFS exchanges control messages between DVLib and the DV over
 TCP/IP; data moves through the parallel file system.  The reproduction uses
-the same split with a simple framed-JSON protocol.
+the same split with two interchangeable *codecs* on the control channel:
+
+``legacy``
+    Newline-delimited JSON, one message per line.  This is the v1 wire
+    format every client and server understands; it is also the format of
+    the ``hello`` handshake, so codec negotiation itself never needs a
+    codec.
+``binary``
+    Length-prefixed frames: a compact 8-byte struct header
+    ``(magic, kind, reserved, payload_length)`` followed by the payload.
+    The hot ops — ``open``/``release`` requests, their replies, and
+    ``ready`` notifications — are packed as fixed struct layouts; every
+    other message is carried as compact (non-sorted) JSON under
+    ``KIND_JSON``.  No newline scanning, no key sorting, no escaping on
+    the critical path.
+
+Codec negotiation rides on ``hello``: a v2 client sends
+``{"op": "hello", ..., "vers": 2, "codec": "binary"}``.  A v2 server
+answers the (always-legacy) hello reply with ``"codec": "binary"`` and
+both sides switch for every subsequent frame.  A v1 server ignores the
+unknown fields and answers without ``codec``, so the client silently
+stays on newline JSON — old and new deployments interoperate in both
+directions.
 
 Client -> DV requests (each carries a ``req`` sequence number):
 
 ===========  =============================================================
-``hello``    attach a client to a context (``SIMFS_Init``)
+``hello``    attach a client to a context (``SIMFS_Init``); negotiates
+             the wire codec via optional ``vers``/``codec`` fields
 ``open``     request one file (transparent open / blocking acquire)
 ``acquire``  request a set of files (``SIMFS_Acquire``)
 ``release``  drop the reference to a file (``SIMFS_Release`` / read close)
@@ -29,25 +52,51 @@ from __future__ import annotations
 
 import json
 import socket
+import struct
 from typing import Any
 
 from repro.core.errors import ProtocolError
 
 __all__ = [
+    "PROTOCOL_VERSION",
+    "CODEC_LEGACY",
+    "CODEC_BINARY",
+    "SUPPORTED_CODECS",
     "encode_message",
     "decode_message",
+    "encode_binary",
+    "encode_frame",
+    "encode_open_reply",
+    "encode_open_request",
+    "negotiate_codec",
+    "StreamDecoder",
     "MessageReader",
     "send_message",
 ]
 
-_MAX_MESSAGE = 1 << 20  # 1 MiB of JSON is far beyond any legal message
+#: Protocol version this library speaks; v2 adds codec negotiation.
+PROTOCOL_VERSION = 2
+
+CODEC_LEGACY = "legacy"
+CODEC_BINARY = "binary"
+SUPPORTED_CODECS = (CODEC_LEGACY, CODEC_BINARY)
+
+_MAX_MESSAGE = 1 << 20  # 1 MiB per frame is far beyond any legal message
+
+# --------------------------------------------------------------------- #
+# Legacy codec: newline-delimited JSON
+# --------------------------------------------------------------------- #
 
 
-def encode_message(message: dict[str, Any]) -> bytes:
-    """Serialize one protocol message to a newline-terminated JSON line."""
+def encode_message(message: dict[str, Any], canonical: bool = False) -> bytes:
+    """Serialize one message to a newline-terminated JSON line.
+
+    ``canonical=True`` sorts keys for byte-stable output (golden files,
+    checksummed transcripts); the hot path skips the sort.
+    """
     if "op" not in message:
         raise ProtocolError("message missing 'op'")
-    line = json.dumps(message, separators=(",", ":"), sort_keys=True)
+    line = json.dumps(message, separators=(",", ":"), sort_keys=canonical)
     if "\n" in line:
         raise ProtocolError("message payload must not contain newlines")
     return line.encode("utf-8") + b"\n"
@@ -64,33 +113,329 @@ def decode_message(line: bytes) -> dict[str, Any]:
     return message
 
 
-def send_message(sock: socket.socket, message: dict[str, Any]) -> None:
-    """Send one message over a connected socket."""
-    sock.sendall(encode_message(message))
+# --------------------------------------------------------------------- #
+# Binary codec: length-prefixed frames with packed hot-op payloads
+# --------------------------------------------------------------------- #
+
+_MAGIC = 0xDF
+_HEADER = struct.Struct("!BBHI")  # magic, kind, reserved, payload length
+
+_KIND_JSON = 0        # payload: compact JSON of the whole message
+_KIND_OPEN = 1        # !IHH req, len(context), len(file) + strings
+_KIND_RELEASE = 2     # same layout as OPEN
+_KIND_READY = 3       # !BHH ok, len(context), len(file) + strings
+_KIND_OPEN_REPLY = 4  # !IBBd req, available, state index, wait
+_KIND_OK_REPLY = 5    # !I   req (empty success reply)
+
+_REQ_STRINGS = struct.Struct("!IHH")
+_READY_HDR = struct.Struct("!BHH")
+_OPEN_REPLY = struct.Struct("!IBBd")
+_OK_REPLY = struct.Struct("!I")
+
+#: File states a packed open-reply can carry (index = wire byte).
+_STATES = ("on_disk", "simulating", "queued", "failed", "unknown")
+_STATE_INDEX = {name: idx for idx, name in enumerate(_STATES)}
+
+
+def _is_req(value: Any) -> bool:
+    return (
+        isinstance(value, int)
+        and not isinstance(value, bool)
+        and 0 <= value < 1 << 32
+    )
+
+
+def _pack_strings(head: bytes, context: str, filename: str) -> bytes:
+    return head + context.encode("utf-8") + filename.encode("utf-8")
+
+
+def encode_binary(message: dict[str, Any]) -> bytes:
+    """Serialize one message as a binary frame.
+
+    The hot ops get fixed struct layouts; anything else falls back to a
+    JSON payload inside the binary framing.  The packed forms round-trip
+    exactly (``decode`` of an ``encode`` reproduces the input dict).
+    """
+    op = message.get("op")
+    if op is None:
+        raise ProtocolError("message missing 'op'")
+    kind, payload = _pack_payload(op, message)
+    if len(payload) > _MAX_MESSAGE:
+        raise ProtocolError("binary frame exceeds maximum size")
+    return _HEADER.pack(_MAGIC, kind, 0, len(payload)) + payload
+
+
+def _pack_payload(op: str, message: dict[str, Any]) -> tuple[int, bytes]:
+    n = len(message)
+    if op in ("open", "release") and n == 4:
+        req = message.get("req")
+        context = message.get("context")
+        filename = message.get("file")
+        if (
+            _is_req(req)
+            and isinstance(context, str)
+            and isinstance(filename, str)
+        ):
+            ctx = context.encode("utf-8")
+            fname = filename.encode("utf-8")
+            if len(ctx) < 1 << 16 and len(fname) < 1 << 16:
+                kind = _KIND_OPEN if op == "open" else _KIND_RELEASE
+                return kind, _REQ_STRINGS.pack(req, len(ctx), len(fname)) + ctx + fname
+    elif op == "ready" and n == 4:
+        context = message.get("context")
+        filename = message.get("file")
+        ok = message.get("ok")
+        if (
+            isinstance(context, str)
+            and isinstance(filename, str)
+            and isinstance(ok, bool)
+        ):
+            ctx = context.encode("utf-8")
+            fname = filename.encode("utf-8")
+            if len(ctx) < 1 << 16 and len(fname) < 1 << 16:
+                return _KIND_READY, _READY_HDR.pack(ok, len(ctx), len(fname)) + ctx + fname
+    elif op == "reply" and message.get("error") == 0:
+        req = message.get("req")
+        if n == 3 and _is_req(req):
+            return _KIND_OK_REPLY, _OK_REPLY.pack(req)
+        if n == 6 and _is_req(req):
+            available = message.get("available")
+            state = message.get("state")
+            wait = message.get("wait")
+            if (
+                isinstance(available, bool)
+                and state in _STATE_INDEX
+                and isinstance(wait, float)
+            ):
+                return _KIND_OPEN_REPLY, _OPEN_REPLY.pack(
+                    req, available, _STATE_INDEX[state], wait
+                )
+    blob = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    return _KIND_JSON, blob
+
+
+def _unpack_strings(payload: bytes, offset: int, ctx_len: int, fname_len: int
+                    ) -> tuple[str, str]:
+    end = offset + ctx_len + fname_len
+    if end != len(payload):
+        raise ProtocolError("binary frame length does not match its payload")
+    try:
+        context = payload[offset : offset + ctx_len].decode("utf-8")
+        filename = payload[offset + ctx_len : end].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"malformed binary string: {exc}") from exc
+    return context, filename
+
+
+def _decode_binary_payload(kind: int, payload: bytes) -> dict[str, Any]:
+    if kind == _KIND_JSON:
+        try:
+            message = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"malformed binary JSON payload: {exc}") from exc
+        if not isinstance(message, dict) or "op" not in message:
+            raise ProtocolError("protocol message must be an object with 'op'")
+        return message
+    try:
+        if kind in (_KIND_OPEN, _KIND_RELEASE):
+            req, ctx_len, fname_len = _REQ_STRINGS.unpack_from(payload)
+            context, filename = _unpack_strings(
+                payload, _REQ_STRINGS.size, ctx_len, fname_len
+            )
+            op = "open" if kind == _KIND_OPEN else "release"
+            return {"op": op, "req": req, "context": context, "file": filename}
+        if kind == _KIND_READY:
+            ok, ctx_len, fname_len = _READY_HDR.unpack_from(payload)
+            context, filename = _unpack_strings(
+                payload, _READY_HDR.size, ctx_len, fname_len
+            )
+            return {"op": "ready", "context": context, "file": filename,
+                    "ok": bool(ok)}
+        if kind == _KIND_OPEN_REPLY:
+            if len(payload) != _OPEN_REPLY.size:
+                raise ProtocolError("binary frame length does not match its payload")
+            req, available, state_idx, wait = _OPEN_REPLY.unpack(payload)
+            if state_idx >= len(_STATES):
+                raise ProtocolError(f"unknown file-state index {state_idx}")
+            return {"op": "reply", "req": req, "error": 0,
+                    "available": bool(available), "state": _STATES[state_idx],
+                    "wait": wait}
+        if kind == _KIND_OK_REPLY:
+            if len(payload) != _OK_REPLY.size:
+                raise ProtocolError("binary frame length does not match its payload")
+            (req,) = _OK_REPLY.unpack(payload)
+            return {"op": "reply", "req": req, "error": 0}
+    except struct.error as exc:
+        raise ProtocolError(f"truncated binary frame: {exc}") from exc
+    raise ProtocolError(f"unknown binary frame kind {kind}")
+
+
+def encode_frame(message: dict[str, Any], codec: str = CODEC_LEGACY) -> bytes:
+    """Serialize one message with the given codec."""
+    if codec == CODEC_BINARY:
+        return encode_binary(message)
+    if codec == CODEC_LEGACY:
+        return encode_message(message)
+    raise ProtocolError(f"unknown codec {codec!r}")
+
+
+def encode_open_reply(
+    req: Any, available: bool, state: str, wait: float, codec: str
+) -> bytes:
+    """Fast path for the single hottest server frame: pack an ``open``
+    reply straight from the handler result, skipping the intermediate
+    message dict (and its field-by-field re-validation) entirely.
+
+    Produces byte-identical output to ``encode_frame`` of the equivalent
+    reply dict; anything unpackable falls back to the generic encoder.
+    """
+    if codec == CODEC_BINARY and _is_req(req):
+        state_idx = _STATE_INDEX.get(state)
+        if state_idx is not None:
+            payload = _OPEN_REPLY.pack(req, available, state_idx, wait)
+            return _HEADER.pack(_MAGIC, _KIND_OPEN_REPLY, 0, len(payload)) + payload
+    return encode_frame(
+        {"op": "reply", "req": req, "error": 0, "available": available,
+         "state": state, "wait": wait},
+        codec,
+    )
+
+
+def encode_open_request(req: Any, context: str, filename: str, codec: str) -> bytes:
+    """Client-side twin of :func:`encode_open_reply`: pack an ``open``
+    request straight from its fields (byte-identical to ``encode_frame``
+    of the equivalent dict; falls back for unpackable values)."""
+    if codec == CODEC_BINARY and _is_req(req):
+        ctx = context.encode("utf-8")
+        fname = filename.encode("utf-8")
+        if len(ctx) < 1 << 16 and len(fname) < 1 << 16:
+            payload = _REQ_STRINGS.pack(req, len(ctx), len(fname)) + ctx + fname
+            return _HEADER.pack(_MAGIC, _KIND_OPEN, 0, len(payload)) + payload
+    return encode_frame(
+        {"op": "open", "req": req, "context": context, "file": filename}, codec
+    )
+
+
+def negotiate_codec(hello: dict[str, Any]) -> str:
+    """Server-side codec choice for a ``hello`` message.
+
+    Returns :data:`CODEC_BINARY` when the client advertises protocol
+    version >= 2 and asks for it; anything else stays legacy, which keeps
+    v1 clients working unchanged.
+    """
+    try:
+        vers = int(hello.get("vers", 1))
+    except (TypeError, ValueError):
+        return CODEC_LEGACY
+    if vers >= 2 and hello.get("codec") == CODEC_BINARY:
+        return CODEC_BINARY
+    return CODEC_LEGACY
+
+
+# --------------------------------------------------------------------- #
+# Incremental decoding
+# --------------------------------------------------------------------- #
+
+
+class StreamDecoder:
+    """Incremental, codec-switchable frame decoder over a byte stream.
+
+    Feed raw bytes with :meth:`feed`; pull complete messages with
+    :meth:`next_message` (``None`` means more bytes are needed).  The
+    buffer survives :meth:`set_codec`, so a connection can switch codecs
+    mid-stream at the negotiated point (after the ``hello`` exchange).
+    """
+
+    def __init__(self, codec: str = CODEC_LEGACY) -> None:
+        if codec not in SUPPORTED_CODECS:
+            raise ProtocolError(f"unknown codec {codec!r}")
+        self.codec = codec
+        self._buffer = bytearray()
+        #: Total bytes ever fed (client-side wire accounting).
+        self.bytes_fed = 0
+
+    def set_codec(self, codec: str) -> None:
+        if codec not in SUPPORTED_CODECS:
+            raise ProtocolError(f"unknown codec {codec!r}")
+        self.codec = codec
+
+    def feed(self, data: bytes) -> None:
+        self._buffer += data
+        self.bytes_fed += len(data)
+
+    def has_partial(self) -> bool:
+        """True when the buffer holds an incomplete frame (EOF here is a
+        mid-message cut, not an orderly close)."""
+        if self.codec == CODEC_LEGACY:
+            return bool(self._buffer.strip())
+        return bool(self._buffer)
+
+    def next_message(self) -> dict[str, Any] | None:
+        if self.codec == CODEC_LEGACY:
+            return self._next_legacy()
+        return self._next_binary()
+
+    def _next_legacy(self) -> dict[str, Any] | None:
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline < 0:
+                if len(self._buffer) > _MAX_MESSAGE:
+                    raise ProtocolError("protocol line exceeds maximum size")
+                return None
+            line = bytes(self._buffer[:newline])
+            del self._buffer[: newline + 1]
+            if not line.strip():
+                continue
+            return decode_message(line)
+
+    def _next_binary(self) -> dict[str, Any] | None:
+        if len(self._buffer) < _HEADER.size:
+            return None
+        magic, kind, _reserved, length = _HEADER.unpack_from(self._buffer)
+        if magic != _MAGIC:
+            raise ProtocolError(f"bad binary frame magic 0x{magic:02x}")
+        if length > _MAX_MESSAGE:
+            raise ProtocolError("binary frame exceeds maximum size")
+        end = _HEADER.size + length
+        if len(self._buffer) < end:
+            return None
+        payload = bytes(self._buffer[_HEADER.size : end])
+        del self._buffer[:end]
+        return _decode_binary_payload(kind, payload)
+
+
+def send_message(
+    sock: socket.socket, message: dict[str, Any], codec: str = CODEC_LEGACY
+) -> None:
+    """Send one message over a connected (blocking) socket."""
+    sock.sendall(encode_frame(message, codec))
 
 
 class MessageReader:
-    """Incremental newline-framed reader over a socket."""
+    """Blocking framed reader over a socket (client side and tests)."""
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket, codec: str = CODEC_LEGACY) -> None:
         self._sock = sock
-        self._buffer = bytearray()
+        self._decoder = StreamDecoder(codec)
+
+    def set_codec(self, codec: str) -> None:
+        """Switch codecs at the negotiated point; buffered bytes carry over."""
+        self._decoder.set_codec(codec)
+
+    @property
+    def bytes_read(self) -> int:
+        """Total bytes received off the socket so far."""
+        return self._decoder.bytes_fed
 
     def read_message(self) -> dict[str, Any] | None:
         """Read the next message; returns ``None`` on orderly EOF."""
         while True:
-            newline = self._buffer.find(b"\n")
-            if newline >= 0:
-                line = bytes(self._buffer[:newline])
-                del self._buffer[: newline + 1]
-                if not line.strip():
-                    continue
-                return decode_message(line)
-            if len(self._buffer) > _MAX_MESSAGE:
-                raise ProtocolError("protocol line exceeds maximum size")
+            message = self._decoder.next_message()
+            if message is not None:
+                return message
             chunk = self._sock.recv(65536)
             if not chunk:
-                if self._buffer.strip():
+                if self._decoder.has_partial():
                     raise ProtocolError("connection closed mid-message")
                 return None
-            self._buffer += chunk
+            self._decoder.feed(chunk)

@@ -1,11 +1,23 @@
 """The DV daemon: a TCP front end over the sharded coordinator (Sec. III).
 
-One thread per client connection.  Handler threads dispatch straight into
-the target context's shard — each shard serializes its own operations
-under its own lock, so clients of independent contexts proceed fully in
-parallel (no daemon-global lock).  Unsolicited ``ready`` notifications are
-pushed to the owning client's socket from whatever thread produced the
-file (a simulation worker or another client's handler).
+Two interchangeable network front ends drive the same op handlers:
+
+* ``selector`` (default) — an event-driven server: **one I/O thread**
+  multiplexes every client socket through :mod:`selectors`, decodes
+  frames incrementally, and hands complete messages to a small worker
+  pool that dispatches into the target context's shard.  Each connection
+  is processed serially (its messages keep their arrival order) but
+  different connections run on different workers, so independent
+  contexts still proceed fully in parallel.  All writes go through
+  per-connection output buffers drained by the I/O thread — queued
+  ``ready`` notifications and replies coalesce into single ``send``
+  calls instead of one syscall per frame.
+* ``threaded`` — the classic one-thread-per-connection loop, kept for
+  comparison benchmarks (``benchmarks/bench_wire.py``) and as a fallback.
+
+Both front ends speak both wire codecs (:mod:`repro.dv.protocol`): the
+``hello`` handshake negotiates ``legacy`` newline-JSON or the ``binary``
+length-prefixed codec per connection, so old clients keep working.
 
 Beyond the classic per-file ops, the daemon speaks two service-level ops:
 
@@ -14,6 +26,8 @@ Beyond the classic per-file ops, the daemon speaks two service-level ops:
   ``SIMFS_Acquire``-heavy analyses);
 * ``stats`` — a snapshot of the metrics plane (per-shard summaries plus
   every counter/gauge/histogram), also reachable as ``simfs-dv --stats``.
+  The wire itself is metered too: ``wire.frames_sent`` /
+  ``wire.bytes_sent`` / ``wire.frames_recv`` / ``wire.bytes_recv``.
 
 The daemon is also usable in-process via :meth:`DVServer.start` /
 :meth:`DVServer.stop` — integration tests and the examples run it that
@@ -23,17 +37,28 @@ way on an ephemeral localhost port.
 from __future__ import annotations
 
 import argparse
+import collections
 import json
 import os
+import queue
+import selectors
 import socket
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.context import SimulationContext
-from repro.core.errors import ErrorCode, InvalidArgumentError, SimFSError
+from repro.core.errors import ErrorCode, InvalidArgumentError, ProtocolError, SimFSError
 from repro.dv.coordinator import DVCoordinator, Notification
 from repro.dv.launcher import ThreadedLauncher
-from repro.dv.protocol import MessageReader, send_message
+from repro.dv.protocol import (
+    CODEC_LEGACY,
+    PROTOCOL_VERSION,
+    MessageReader,
+    StreamDecoder,
+    encode_frame,
+    encode_open_reply,
+    negotiate_codec,
+)
 from repro.metrics import MetricsRegistry
 from repro.util.clock import WallClock
 
@@ -44,21 +69,90 @@ _BATCHABLE_OPS = frozenset(
     {"open", "acquire", "release", "wclose", "bitrep", "attach", "finalize", "stats"}
 )
 
+_RECV_SIZE = 65536
+
+#: Flush a worker's reply collector once it holds this many bytes, even
+#: mid-drain, so a huge pipelined burst cannot buffer unboundedly.
+_COLLECT_MAX = 1 << 18
+
+#: Backpressure high-water marks: stop reading a connection whose queued
+#: messages or un-drained output exceed these (the threaded front end got
+#: the same effect implicitly by blocking in read/sendall).
+_INBOX_HIGH = 1024
+_OUTBUF_HIGH = 1 << 22
+
+
+#: Ops that can trigger storage-area eviction (and hence ``os.unlink`` on
+#: the PFS) when a context is capacity-bounded.
+_EVICTING_OPS = frozenset({"release", "wclose", "finalize"})
+
+
+def _needs_worker(message: dict, evicting_inline_unsafe: bool) -> bool:
+    """True for ops that may block on file I/O and therefore must not run
+    on the event loop: ``bitrep`` checksums a whole output step, and —
+    when any registered context has a bounded storage area — ``release``/
+    ``wclose`` may evict and delete files on the PFS."""
+    op = message.get("op")
+    if op == "bitrep" or (evicting_inline_unsafe and op in _EVICTING_OPS):
+        return True
+    if op == "batch":
+        sub_ops = message.get("ops")
+        if isinstance(sub_ops, list):
+            return any(
+                isinstance(sub, dict)
+                and _needs_worker(sub, evicting_inline_unsafe)
+                for sub in sub_ops
+            )
+    return False
+
 
 @dataclass
 class _ClientConn:
-    client_id: str
+    """Per-connection state shared by both front ends.
+
+    ``send_lock`` guards the socket (threaded mode) or the output buffer
+    (selector mode); ``inbox``/``busy`` implement the selector mode's
+    per-connection serialization (a connection is queued to the worker
+    pool only while it is not already being worked on).
+    """
+
     sock: socket.socket
-    send_lock: threading.Lock
-    contexts: set[str]
+    client_id: str | None = None
+    codec: str = CODEC_LEGACY
+    contexts: set[str] = field(default_factory=set)
+    send_lock: threading.Lock = field(default_factory=threading.Lock)
+    decoder: StreamDecoder = field(default_factory=StreamDecoder)
+    outbuf: bytearray = field(default_factory=bytearray)
+    inbox: collections.deque = field(default_factory=collections.deque)
+    busy: bool = False
+    closing: bool = False
+    want_write: bool = False
+    #: A flush request for this connection is already queued to the I/O
+    #: thread — appending more output needs no further wake-up.
+    flush_requested: bool = False
+    #: Reading is suspended: inbox or outbuf crossed the high-water mark
+    #: (backpressure — the peer outpaces its shard or stopped draining).
+    paused: bool = False
+    #: Event mask currently registered with the selector (0 = none).
+    sel_mask: int = 0
 
 
 class DVServer:
-    """Threaded TCP Data Virtualizer daemon."""
+    """TCP Data Virtualizer daemon (selector event loop or thread-per-client)."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        mode: str = "selector",
+        workers: int | None = None,
+    ) -> None:
+        if mode not in ("selector", "threaded"):
+            raise InvalidArgumentError(f"unknown server mode {mode!r}")
         self._host = host
         self._port = port
+        self.mode = mode
+        self._num_workers = workers or max(2, min(8, os.cpu_count() or 2))
         self._clock = WallClock()
         self.metrics = MetricsRegistry()
         self.launcher = ThreadedLauncher(self._clock, metrics=self.metrics)
@@ -72,7 +166,35 @@ class DVServer:
         self._clients_lock = threading.Lock()
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
+        self._io_thread: threading.Thread | None = None
+        self._worker_threads: list[threading.Thread] = []
+        self._work_queue: queue.Queue[_ClientConn | None] = queue.Queue()
+        self._selector: selectors.DefaultSelector | None = None
+        self._wake_r: socket.socket | None = None
+        self._wake_w: socket.socket | None = None
+        # Connections whose outbuf gained data / that must be closed /
+        # that may resume reading; the I/O thread drains all three after
+        # a wake-up.
+        self._flush_pending: collections.deque[_ClientConn] = collections.deque()
+        self._close_pending: collections.deque[_ClientConn] = collections.deque()
+        self._resume_pending: collections.deque[_ClientConn] = collections.deque()
         self._running = False
+        # Set when any context has a bounded storage area: its release/
+        # wclose/finalize ops may evict-and-unlink on the PFS and must
+        # not run on the event loop (see _needs_worker).
+        self._evicting_inline_unsafe = False
+        # One-slot memo so a notification fanned out to many waiters is
+        # encoded once per codec, not once per waiter.
+        self._ready_memo: tuple[tuple[str, str, bool], dict[str, bytes]] | None = None
+        self._ready_memo_lock = threading.Lock()
+        # Worker-local reply collector: while a worker drains one
+        # connection's inbox, its replies accumulate here and leave in a
+        # single send (see _process_inbox).
+        self._tl = threading.local()
+        self._m_frames_sent = self.metrics.counter("wire.frames_sent")
+        self._m_bytes_sent = self.metrics.counter("wire.bytes_sent")
+        self._m_frames_recv = self.metrics.counter("wire.frames_recv")
+        self._m_bytes_recv = self.metrics.counter("wire.bytes_recv")
         self._handlers = {
             "open": self._op_open,
             "acquire": self._op_acquire,
@@ -107,6 +229,8 @@ class DVServer:
                 pass
 
         shard = self.coordinator.register_context(context, on_evict_file=delete_file)
+        if context.config.max_storage_bytes is not None:
+            self._evicting_inline_unsafe = True
         self.launcher.register_context(
             context.name, context.driver, output_dir, restart_dir,
             alpha_delay=alpha_delay, tau_delay=tau_delay,
@@ -132,13 +256,31 @@ class DVServer:
         return self._listener.getsockname()[:2]
 
     def start(self) -> None:
-        """Bind, listen, and accept clients on a background thread."""
+        """Bind, listen, and serve clients on background threads."""
         self._listener = socket.create_server((self._host, self._port))
         self._running = True
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="simfs-dv-accept", daemon=True
+        if self.mode == "threaded":
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="simfs-dv-accept", daemon=True
+            )
+            self._accept_thread.start()
+            return
+        self._listener.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._selector.register(self._listener, selectors.EVENT_READ, "accept")
+        self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+        for idx in range(self._num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"simfs-dv-worker-{idx}", daemon=True
+            )
+            thread.start()
+            self._worker_threads.append(thread)
+        self._io_thread = threading.Thread(
+            target=self._io_loop, name="simfs-dv-io", daemon=True
         )
-        self._accept_thread.start()
+        self._io_thread.start()
 
     def stop(self) -> None:
         """Stop accepting and close every client connection."""
@@ -148,18 +290,20 @@ class DVServer:
                 self._listener.close()
             except OSError:
                 pass
+        if self.mode == "selector":
+            self._wake()
+            if self._io_thread is not None:
+                self._io_thread.join(timeout=10.0)
+            for _ in self._worker_threads:
+                self._work_queue.put(None)
+            for thread in self._worker_threads:
+                thread.join(timeout=10.0)
+            self._worker_threads.clear()
         with self._clients_lock:
             conns = list(self._clients.values())
             self._clients.clear()
         for conn in conns:
-            try:
-                conn.sock.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                conn.sock.close()
-            except OSError:
-                pass
+            self._shutdown_socket(conn.sock)
 
     def __enter__(self) -> "DVServer":
         self.start()
@@ -168,8 +312,385 @@ class DVServer:
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
+    @staticmethod
+    def _shutdown_socket(sock: socket.socket) -> None:
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    @staticmethod
+    def _tune_socket(sock: socket.socket) -> None:
+        try:
+            # Reply and ready frames are small; don't let Nagle's
+            # algorithm sit on them.  Keepalive makes the server
+            # eventually notice half-open peers, so their client_id
+            # (reserved against duplicate hellos) frees up.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+            # Default kernel keepalive idles for hours; probe after 60s
+            # so a crashed client's reserved client_id frees up within
+            # ~2 minutes instead.
+            if hasattr(socket, "TCP_KEEPIDLE"):
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_KEEPIDLE, 60)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_KEEPINTVL, 15)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_KEEPCNT, 4)
+        except OSError:
+            pass
+
     # ------------------------------------------------------------------ #
-    # Networking internals
+    # Selector front end
+    # ------------------------------------------------------------------ #
+    def _wake(self) -> None:
+        if self._wake_w is None:
+            return
+        try:
+            self._wake_w.send(b"\x00")
+        except OSError:
+            pass
+
+    def _io_loop(self) -> None:
+        assert self._selector is not None
+        try:
+            while self._running:
+                events = self._selector.select(timeout=1.0)
+                for key, mask in events:
+                    if key.data == "accept":
+                        self._accept_ready()
+                    elif key.data == "wake":
+                        self._drain_wake()
+                    else:
+                        conn: _ClientConn = key.data
+                        if mask & selectors.EVENT_READ:
+                            self._read_ready(conn)
+                        if mask & selectors.EVENT_WRITE and not conn.closing:
+                            self._flush_conn(conn)
+                self._drain_flush_requests()
+                self._drain_resume_requests()
+                self._drain_close_requests()
+        finally:
+            try:
+                self._selector.close()
+            except OSError:
+                pass
+            for sock in (self._wake_r, self._wake_w):
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+
+    def _accept_ready(self) -> None:
+        assert self._listener is not None and self._selector is not None
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except BlockingIOError:
+                return
+            except OSError:
+                return  # listener closed
+            self._tune_socket(sock)
+            sock.setblocking(False)
+            conn = _ClientConn(sock)
+            try:
+                self._selector.register(sock, selectors.EVENT_READ, conn)
+                conn.sel_mask = selectors.EVENT_READ
+            except (KeyError, ValueError, OSError):
+                self._shutdown_socket(sock)
+
+    def _drain_wake(self) -> None:
+        assert self._wake_r is not None
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _read_ready(self, conn: _ClientConn) -> None:
+        try:
+            chunk = conn.sock.recv(_RECV_SIZE)
+        except BlockingIOError:
+            return
+        except OSError:
+            self._close_conn(conn)
+            return
+        if not chunk:
+            self._close_conn(conn)
+            return
+        self._m_bytes_recv.inc(len(chunk))
+        conn.decoder.feed(chunk)
+        messages = []
+        try:
+            while True:
+                message = conn.decoder.next_message()
+                if message is None:
+                    break
+                messages.append(message)
+        except ProtocolError:
+            # Unparseable or oversized stream: the only safe move is to
+            # drop the connection (framing is lost).
+            self._close_conn(conn)
+            return
+        if not messages:
+            return
+        self._m_frames_recv.inc(len(messages))
+        with conn.send_lock:
+            backlog = conn.busy or bool(conn.inbox)
+            if backlog:
+                conn.inbox.extend(messages)
+                schedule = not conn.busy
+                if schedule:
+                    conn.busy = True
+                # Backpressure: a peer outpacing its shard (or one that
+                # stopped draining replies) must not grow the queues
+                # without bound — stop reading until they drain.
+                conn.paused = (
+                    len(conn.inbox) >= _INBOX_HIGH
+                    or len(conn.outbuf) >= _OUTBUF_HIGH
+                )
+        if backlog:
+            self._update_interest(conn)
+            if schedule:
+                self._work_queue.put(conn)
+            return
+        self._run_inline(conn, messages)
+        with conn.send_lock:
+            conn.paused = len(conn.outbuf) >= _OUTBUF_HIGH
+        self._update_interest(conn)
+
+    def _run_inline(self, conn: _ClientConn, messages: list[dict]) -> None:
+        """Hot path: execute a quiescent connection's batch on the event
+        loop itself — in-memory ops (open/acquire/release/...) never pay
+        a worker-pool hop.  The first op that may block (a ``bitrep``
+        checksum reads the file off the PFS) hands the rest of the batch
+        to the pool, keeping the loop responsive."""
+        tl = self._tl
+        tl.conn = conn
+        tl.buf = bytearray()
+        tl.frames = 0
+        try:
+            for idx, message in enumerate(messages):
+                if _needs_worker(message, self._evicting_inline_unsafe):
+                    # Flush before handing over so replies leave in the
+                    # order their requests arrived.
+                    self._flush_collector()
+                    with conn.send_lock:
+                        conn.inbox.extend(messages[idx:])
+                        conn.busy = True
+                    self._work_queue.put(conn)
+                    return
+                try:
+                    self._handle_message(conn, message)
+                except Exception:
+                    tl.frames = 0  # the conn is going down: drop replies
+                    self._close_conn(conn)
+                    return
+                if len(tl.buf) >= _COLLECT_MAX:
+                    self._flush_collector()
+        finally:
+            self._flush_collector()
+            tl.conn = None
+
+    def _flush_conn(self, conn: _ClientConn) -> None:
+        """Write as much buffered output as the socket accepts — every
+        frame queued since the last flush leaves in one ``send``."""
+        failed = False
+        with conn.send_lock:
+            conn.flush_requested = False
+            if conn.outbuf:
+                try:
+                    sent = conn.sock.send(conn.outbuf)
+                    del conn.outbuf[:sent]
+                except BlockingIOError:
+                    pass
+                except OSError:
+                    conn.outbuf.clear()
+                    failed = True
+            if not failed:
+                conn.want_write = bool(conn.outbuf)
+                if conn.paused and len(conn.outbuf) < _OUTBUF_HIGH \
+                        and len(conn.inbox) < _INBOX_HIGH:
+                    conn.paused = False  # drained: resume reading
+        if failed:
+            # Tear down outside send_lock: _drop_client reaches for the
+            # shard lock, which notifier threads hold while waiting for
+            # this very send_lock (_push_ready -> _queue_or_send).
+            self._close_conn(conn)
+            return
+        self._update_interest(conn)
+
+    def _update_interest(self, conn: _ClientConn) -> None:
+        """Reconcile the selector registration with the connection state
+        (I/O thread only; never called with send_lock held)."""
+        assert self._selector is not None
+        if conn.closing:
+            return
+        mask = 0
+        if not conn.paused:
+            mask |= selectors.EVENT_READ
+        if conn.want_write:
+            mask |= selectors.EVENT_WRITE
+        if mask == conn.sel_mask:
+            return
+        try:
+            if mask == 0:
+                self._selector.unregister(conn.sock)
+            elif conn.sel_mask == 0:
+                self._selector.register(conn.sock, mask, conn)
+            else:
+                self._selector.modify(conn.sock, mask, conn)
+            conn.sel_mask = mask
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def _drain_flush_requests(self) -> None:
+        while True:
+            try:
+                conn = self._flush_pending.popleft()
+            except IndexError:
+                return
+            if not conn.closing:
+                self._flush_conn(conn)
+
+    def _drain_close_requests(self) -> None:
+        while True:
+            try:
+                conn = self._close_pending.popleft()
+            except IndexError:
+                return
+            self._close_conn(conn)
+
+    def _drain_resume_requests(self) -> None:
+        while True:
+            try:
+                conn = self._resume_pending.popleft()
+            except IndexError:
+                return
+            if conn.closing:
+                continue
+            with conn.send_lock:
+                if (
+                    len(conn.inbox) < _INBOX_HIGH
+                    and len(conn.outbuf) < _OUTBUF_HIGH
+                ):
+                    conn.paused = False
+            self._update_interest(conn)
+
+    def _close_conn(self, conn: _ClientConn) -> None:
+        """I/O-thread-side teardown of one connection.
+
+        The socket and selector entry go away immediately; the shard-side
+        cleanup (which may evict and delete files on bounded areas) runs
+        on the worker pool.  The client_id stays reserved until that
+        cleanup finishes, so a reconnect cannot race its own teardown.
+        """
+        if conn.closing:
+            return
+        conn.closing = True
+        if self._selector is not None:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+            conn.sel_mask = 0
+        self._shutdown_socket(conn.sock)
+        if conn.client_id is not None or conn.contexts:
+            self._work_queue.put(lambda: self._drop_client(conn))
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._work_queue.get()
+            if item is None:
+                return
+            if callable(item):
+                item()  # deferred cleanup (see _close_conn)
+            else:
+                self._process_inbox(item)
+
+    def _process_inbox(self, conn: _ClientConn) -> None:
+        """Drain one connection's queued messages in arrival order.
+
+        While the drain runs, every frame this worker produces for the
+        connection lands in a thread-local collector; it leaves as one
+        coalesced send when the inbox is empty (or the collector fills),
+        instead of one wake-up + syscall per message.
+        """
+        tl = self._tl
+        tl.conn = conn
+        tl.buf = bytearray()
+        tl.frames = 0
+        resume = False
+        try:
+            while True:
+                with conn.send_lock:
+                    drained = not conn.inbox or conn.closing
+                    message = None if drained else conn.inbox.popleft()
+                if drained:
+                    # Flush *before* releasing the connection: once busy
+                    # drops, the I/O thread may run newer messages inline,
+                    # and their replies must not overtake the ones still
+                    # sitting in this worker's collector.
+                    self._flush_collector()
+                    with conn.send_lock:
+                        if not conn.inbox or conn.closing:
+                            conn.busy = False
+                            resume = conn.paused and not conn.closing
+                            break
+                    continue  # new messages arrived during the flush
+                try:
+                    self._handle_message(conn, message)
+                except Exception:
+                    # A failed send or an unexpected handler crash tears
+                    # down this connection only — the worker must survive
+                    # to serve every other client.
+                    with conn.send_lock:
+                        conn.busy = False
+                    self._close_pending.append(conn)
+                    self._wake()
+                    return
+                if len(tl.buf) >= _COLLECT_MAX:
+                    self._flush_collector()
+        finally:
+            self._flush_collector()
+            tl.conn = None
+        if resume:
+            # The drain brought a paused connection back under the
+            # high-water marks: ask the I/O thread to read it again.
+            self._resume_pending.append(conn)
+            self._wake()
+
+    def _flush_collector(self) -> None:
+        """Hand the worker's accumulated output to the wire in one go."""
+        tl = self._tl
+        if not tl.frames:
+            return
+        buf, frames = tl.buf, tl.frames
+        tl.buf = bytearray()
+        tl.frames = 0
+        self._m_frames_sent.inc(frames)
+        self._m_bytes_sent.inc(len(buf))
+        self._queue_or_send(tl.conn, buf)
+
+    def _handle_message(self, conn: _ClientConn, message: dict) -> None:
+        if conn.client_id is None:
+            if message.get("op") != "hello":
+                self._send(conn, {
+                    "op": "reply",
+                    "req": message.get("req"),
+                    "error": int(ErrorCode.ERR_PROTOCOL),
+                    "detail": "first message must be hello",
+                })
+                return
+            self._handle_hello(conn, message)
+            return
+        self._dispatch(conn, message)
+
+    # ------------------------------------------------------------------ #
+    # Threaded front end (comparison baseline)
     # ------------------------------------------------------------------ #
     def _accept_loop(self) -> None:
         assert self._listener is not None
@@ -178,77 +699,55 @@ class DVServer:
                 sock, _addr = self._listener.accept()
             except OSError:
                 return  # listener closed
-            try:
-                # Reply and ready frames are small; don't let Nagle's
-                # algorithm sit on them.  Keepalive makes the reader
-                # thread eventually notice half-open peers, so their
-                # client_id (reserved against duplicate hellos) frees up.
-                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
-                # Default kernel keepalive idles for hours; probe after
-                # 60s so a crashed client's reserved client_id frees up
-                # within ~2 minutes instead.
-                if hasattr(socket, "TCP_KEEPIDLE"):
-                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_KEEPIDLE, 60)
-                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_KEEPINTVL, 15)
-                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_KEEPCNT, 4)
-            except OSError:
-                pass
+            self._tune_socket(sock)
             threading.Thread(
                 target=self._serve_client, args=(sock,), daemon=True
             ).start()
 
     def _serve_client(self, sock: socket.socket) -> None:
         reader = MessageReader(sock)
-        conn: _ClientConn | None = None
+        conn = _ClientConn(sock)
+        bytes_seen = 0
         try:
             while True:
                 message = reader.read_message()
                 if message is None:
                     break
-                if conn is None:
-                    if message.get("op") != "hello":
-                        send_message(
-                            sock,
-                            {
-                                "op": "reply",
-                                "req": message.get("req"),
-                                "error": int(ErrorCode.ERR_PROTOCOL),
-                                "detail": "first message must be hello",
-                            },
-                        )
-                        continue
-                    conn = self._handle_hello(sock, message)
-                    continue
-                self._dispatch(conn, message)
+                self._m_frames_recv.inc()
+                self._m_bytes_recv.inc(reader.bytes_read - bytes_seen)
+                bytes_seen = reader.bytes_read
+                before = conn.codec
+                self._handle_message(conn, message)
+                if conn.codec != before:
+                    reader.set_codec(conn.codec)
         except (SimFSError, OSError):
             pass
         finally:
-            if conn is not None:
-                self._drop_client(conn)
+            self._drop_client(conn)
             try:
                 sock.close()
             except OSError:
                 pass
 
-    def _handle_hello(self, sock: socket.socket, message: dict) -> _ClientConn | None:
+    # ------------------------------------------------------------------ #
+    # Handshake and dispatch (shared by both front ends)
+    # ------------------------------------------------------------------ #
+    def _handle_hello(self, conn: _ClientConn, message: dict) -> None:
         client_id = str(message.get("client_id"))
         context_name = message.get("context")
-        conn = _ClientConn(client_id, sock, threading.Lock(), set())
+        codec = negotiate_codec(message)
         with self._clients_lock:
             if client_id in self._clients:
                 # A second hello reusing a live client_id would silently
                 # orphan the first connection's notifications: reject it.
-                send_message(
-                    sock,
-                    {
-                        "op": "reply",
-                        "req": message.get("req"),
-                        "error": int(ErrorCode.ERR_INVALID),
-                        "detail": f"client_id {client_id!r} is already connected",
-                    },
-                )
-                return None
+                self._send(conn, {
+                    "op": "reply",
+                    "req": message.get("req"),
+                    "error": int(ErrorCode.ERR_INVALID),
+                    "detail": f"client_id {client_id!r} is already connected",
+                })
+                return
+            conn.client_id = client_id
             self._clients[client_id] = conn
         error = int(ErrorCode.SUCCESS)
         detail = ""
@@ -258,9 +757,15 @@ class DVServer:
                 conn.contexts.add(context_name)
             except SimFSError as exc:
                 error, detail = int(exc.code), str(exc)
-        self._send(conn, {"op": "reply", "req": message.get("req"),
-                          "error": error, "detail": detail})
-        return conn
+        # The hello reply itself always travels in the legacy codec; both
+        # sides switch to the negotiated codec for every frame after it.
+        self._send(conn, {
+            "op": "reply", "req": message.get("req"),
+            "error": error, "detail": detail,
+            "vers": PROTOCOL_VERSION, "codec": codec,
+        })
+        conn.codec = codec
+        conn.decoder.set_codec(codec)
 
     def _handler_for(self, op):
         return self._handlers.get(op)
@@ -268,6 +773,25 @@ class DVServer:
     def _dispatch(self, conn: _ClientConn, message: dict) -> None:
         op = message.get("op")
         req = message.get("req")
+        if op == "open" and "context" in message and "file" in message:
+            # Hottest op of the transparent path: reply packed straight
+            # from the handler result, no intermediate dict — and no
+            # second handler execution on failure (handle_open pins
+            # before it can fail, so a re-run would leak a refcount).
+            try:
+                result = self.coordinator.handle_open(
+                    conn.client_id, message["context"], message["file"],
+                    self._clock.now(),
+                )
+            except SimFSError as exc:
+                self._send(conn, {"op": "reply", "req": req,
+                                  "error": int(exc.code), "detail": str(exc)})
+            else:
+                self._send_raw(conn, encode_open_reply(
+                    req, result.available, result.state.value,
+                    result.estimated_wait, conn.codec,
+                ))
+            return
         handler = self._handler_for(op)
         if handler is None:
             self._send(conn, {"op": "reply", "req": req,
@@ -395,16 +919,20 @@ class DVServer:
     def _op_stats(self, conn: _ClientConn, message: dict) -> dict:
         snapshot = self.coordinator.stats_snapshot()
         with self._clients_lock:
-            snapshot["server"] = {"connected_clients": len(self._clients)}
+            snapshot["server"] = {
+                "connected_clients": len(self._clients),
+                "mode": self.mode,
+            }
         return {"stats": snapshot}
 
     # ------------------------------------------------------------------ #
     def _drop_client(self, conn: _ClientConn) -> None:
-        with self._clients_lock:
-            # Only remove our own entry — a rejected duplicate hello must
-            # not evict the live connection that owns the client_id.
-            if self._clients.get(conn.client_id) is conn:
-                del self._clients[conn.client_id]
+        if conn.client_id is not None:
+            with self._clients_lock:
+                # Only remove our own entry — a rejected duplicate hello
+                # must not evict the live connection owning the client_id.
+                if self._clients.get(conn.client_id) is conn:
+                    del self._clients[conn.client_id]
         for context in list(conn.contexts):
             try:
                 self.coordinator.client_disconnect(
@@ -418,22 +946,89 @@ class DVServer:
             conn = self._clients.get(notification.client_id)
         if conn is None:
             return
+        data = self._encode_ready(notification, conn.codec)
         try:
-            self._send(
-                conn,
-                {
+            self._send_raw(conn, data)
+        except OSError:
+            pass
+
+    def _encode_ready(self, notification: Notification, codec: str) -> bytes:
+        """Encode a ``ready`` frame once per codec and reuse it for every
+        waiter of the same file (shards fan notifications out back to
+        back, so a one-slot memo captures the whole wave)."""
+        key = (notification.context_name, notification.filename, notification.ok)
+        with self._ready_memo_lock:
+            if self._ready_memo is not None and self._ready_memo[0] == key:
+                encoded = self._ready_memo[1]
+            else:
+                encoded = {}
+                self._ready_memo = (key, encoded)
+            data = encoded.get(codec)
+            if data is None:
+                data = encode_frame({
                     "op": "ready",
                     "context": notification.context_name,
                     "file": notification.filename,
                     "ok": notification.ok,
-                },
-            )
-        except OSError:
-            pass
+                }, codec)
+                encoded[codec] = data
+            return data
 
     def _send(self, conn: _ClientConn, message: dict) -> None:
+        self._send_raw(conn, encode_frame(message, conn.codec))
+
+    def _send_raw(self, conn: _ClientConn, data: bytes) -> None:
+        """Ship one encoded frame to a connection.
+
+        Threaded mode writes through directly.  Selector mode first tries
+        the owning worker's collector (coalesced with the rest of the
+        inbox drain); frames for *other* connections — ``ready`` fan-out,
+        notifications from launcher threads — go through
+        :meth:`_queue_or_send`.
+        """
+        if self.mode == "selector":
+            tl = self._tl
+            if getattr(tl, "conn", None) is conn:
+                tl.buf += data
+                tl.frames += 1
+                return
+        self._m_frames_sent.inc()
+        self._m_bytes_sent.inc(len(data))
+        if self.mode == "threaded":
+            with conn.send_lock:
+                conn.sock.sendall(data)
+            return
+        self._queue_or_send(conn, data)
+
+    def _queue_or_send(self, conn: _ClientConn, data: bytes) -> None:
+        """Selector-mode write: send straight from this thread when the
+        output buffer is clear (no wake-up, no extra hop); otherwise
+        append behind the backlog and ask the I/O thread to drain it."""
+        need_wake = False
         with conn.send_lock:
-            send_message(conn.sock, message)
+            if conn.closing:
+                return
+            if not conn.outbuf and not conn.want_write:
+                try:
+                    sent = conn.sock.send(data)
+                except BlockingIOError:
+                    sent = 0
+                except OSError:
+                    need_wake = True
+                    sent = len(data)  # drop: the close tears the conn down
+                if sent < len(data):
+                    conn.outbuf += memoryview(data)[sent:]
+            else:
+                conn.outbuf += data
+            if need_wake:  # OSError path: request teardown
+                self._close_pending.append(conn)
+            elif conn.outbuf and not conn.flush_requested:
+                conn.flush_requested = True
+                self._flush_pending.append(conn)
+                need_wake = True
+            else:
+                return
+        self._wake()
 
 
 # --------------------------------------------------------------------- #
@@ -445,7 +1040,7 @@ def main(argv: list[str] | None = None) -> int:
 
     Config schema::
 
-        {"host": "127.0.0.1", "port": 7878,
+        {"host": "127.0.0.1", "port": 7878, "mode": "selector",
          "contexts": [
            {"name": "cosmo", "simulator": "cosmo",
             "delta_d": 5, "delta_r": 60, "num_timesteps": 5760,
@@ -479,7 +1074,11 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.config, encoding="utf-8") as fh:
         config = json.load(fh)
 
-    server = DVServer(config.get("host", "127.0.0.1"), config.get("port", 7878))
+    server = DVServer(
+        config.get("host", "127.0.0.1"),
+        config.get("port", 7878),
+        mode=config.get("mode", "selector"),
+    )
     drivers = {"cosmo": CosmoDriver, "flash": FlashDriver, "synthetic": SyntheticDriver}
     for spec in config.get("contexts", []):
         cc = ContextConfig(

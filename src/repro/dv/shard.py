@@ -187,6 +187,10 @@ class ContextShard:
         )
         self.waiters: dict[int, set[str]] = {}
         self.in_flight: dict[int, int] = {}  # key -> sim_id
+        # filename -> key memo: the naming convention is static per
+        # context, and every open/release/wclose re-derives the key from
+        # the name (a string parse) — cache the bounded valid set.
+        self._key_memo: dict[str, int] = {}
         self.sims: dict[int, RunningSim] = {}
         self.pending_jobs = JobQueue()
         self.agents: dict[str, PrefetchAgent] = {}
@@ -498,12 +502,19 @@ class ContextShard:
             )
 
     def _key_of(self, filename: str) -> int:
+        key = self._key_memo.get(filename)
+        if key is not None:
+            return key
         try:
-            return self.context.key_of(filename)
+            key = self.context.key_of(filename)
         except FileNotInContextError:
             raise
         except Exception as exc:  # driver bugs surface as context errors
             raise FileNotInContextError(str(exc)) from exc
+        # Only valid names are cached, so the memo is bounded by the
+        # context's output-step count (invalid probes cannot grow it).
+        self._key_memo[filename] = key
+        return key
 
     def _flight_state(self, key: int) -> FileState:
         sim_id = self.in_flight.get(key)

@@ -55,6 +55,11 @@ class PatternDetector:
         self._last_time: float | None = None
         self._last_delta: int | None = None
         self._confirmed = False
+        # Memoized snapshot: analyses re-read the file they hold open, so
+        # long runs of delta-0 accesses would otherwise rebuild an
+        # identical frozen PatternState per DV open.  Invalidated on any
+        # state change.
+        self._state_cache: PatternState | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -107,6 +112,7 @@ class PatternDetector:
             self._last_time = now
             return self._snapshot(just_reset=False)
 
+        self._state_cache = None  # every path below may change the state
         if delta is not None:
             if self._last_delta is not None and delta == self._last_delta:
                 if not self._confirmed:
@@ -138,13 +144,19 @@ class PatternDetector:
         self._last_delta = None
         self._confirmed = False
         self._tau.reset()
+        self._state_cache = None
 
     # ------------------------------------------------------------------ #
     def _snapshot(self, just_reset: bool) -> PatternState:
-        return PatternState(
+        if not just_reset and self._state_cache is not None:
+            return self._state_cache
+        state = PatternState(
             confirmed=self._confirmed,
             direction=self.direction,
             stride=self.stride,
             tau_cli=self.tau_cli,
             just_reset=just_reset,
         )
+        if not just_reset:
+            self._state_cache = state
+        return state

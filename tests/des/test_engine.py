@@ -109,3 +109,81 @@ class TestRunBounds:
             return out
 
         assert run_once() == run_once()
+
+
+class TestTombstoneCompaction:
+    def test_compaction_triggers_past_half_dead(self):
+        engine = DESEngine()
+        handles = [engine.schedule(i + 1.0, lambda: None) for i in range(200)]
+        for h in handles[:150]:
+            h.cancel()
+        assert engine.compactions >= 1
+        assert len(engine._queue) <= 100  # tombstones physically gone
+        assert engine.pending == 50
+
+    def test_small_queues_never_compact(self):
+        engine = DESEngine()
+        handles = [engine.schedule(i + 1.0, lambda: None) for i in range(10)]
+        for h in handles:
+            h.cancel()
+        assert engine.compactions == 0
+        assert engine.pending == 0
+
+    def test_survivors_fire_in_order_after_compaction(self):
+        engine = DESEngine()
+        fired = []
+        keep = []
+        for i in range(100):
+            handle = engine.schedule(
+                float(i), lambda i=i: fired.append(i)
+            )
+            if i % 10 == 0:
+                keep.append(i)
+            else:
+                handle.cancel()
+        assert engine.compactions >= 1
+        engine.run()
+        assert fired == keep
+        assert engine.events_processed == len(keep)
+
+    def test_double_cancel_counts_once(self):
+        engine = DESEngine()
+        handles = [engine.schedule(1.0, lambda: None) for _ in range(100)]
+        for h in handles[:40]:
+            h.cancel()
+            h.cancel()  # idempotent
+        assert engine.pending == 60
+
+    def test_cancel_after_fire_keeps_accounting(self):
+        engine = DESEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.run(until=1.5)
+        handle.cancel()  # already fired: a no-op for the queue
+        assert handle.cancelled
+        assert engine.pending == 1
+
+    def test_cancel_after_skip_keeps_accounting(self):
+        engine = DESEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        handle.cancel()
+        engine.run()  # pops the tombstone
+        handle.cancel()  # second cancel after the tombstone departed
+        assert engine.pending == 0
+
+    def test_prefetch_kill_wave_stays_compact(self):
+        # Shape of a prefetch-heavy virtual experiment: waves of
+        # speculative events mostly cancelled before firing.
+        engine = DESEngine()
+        fired = []
+        for wave in range(50):
+            handles = [
+                engine.schedule(wave + i * 0.001, lambda: fired.append(1))
+                for i in range(100)
+            ]
+            for h in handles[5:]:
+                h.cancel()
+        assert engine.pending == 50 * 5
+        assert len(engine._queue) < 2 * engine.pending + 64
+        engine.run()
+        assert len(fired) == 50 * 5
