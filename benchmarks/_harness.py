@@ -17,12 +17,22 @@ from __future__ import annotations
 import json
 import os
 import platform
+import socket
 import sys
 from collections.abc import Sequence
 from typing import Any
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def free_port() -> int:
+    """An ephemeral TCP port for benchmarks that must bind a known port."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:

@@ -16,6 +16,10 @@ Subcommands
 ``dv-stats``
     Query a running DV daemon's ``stats`` op and print the metrics-plane
     snapshot (same payload as ``simfs-dv --stats``).
+``cluster-status``
+    Query a cluster node's ``cluster`` op and print its ring/membership
+    view (owner per context, peer liveness, epoch) plus the cluster-plane
+    metrics (forwarding, gossip, failovers).
 """
 
 from __future__ import annotations
@@ -89,6 +93,16 @@ def _cmd_dv_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    from repro.client.dvlib import TcpConnection
+
+    with TcpConnection(args.host, args.port, {}, {}) as conn:
+        reply = conn.call({"op": "cluster"})
+    payload = {k: v for k, v in reply.items() if k not in ("op", "req", "error")}
+    print(json.dumps(payload, indent=1, sort_keys=True))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="simfs-ctl", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -127,6 +141,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7878)
     p.set_defaults(func=_cmd_dv_stats)
+
+    p = sub.add_parser("cluster-status",
+                       help="print a cluster node's ring/membership view")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7878)
+    p.set_defaults(func=_cmd_cluster_status)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -161,6 +161,23 @@ class SimFSSession:
         """``SIMFS_Bitrep``: does the on-disk file match the initial run?"""
         return self.connection.bitrep(self.context, filename)
 
+    def reconnect(self) -> None:
+        """Re-establish the session after a :class:`DVConnectionLost`.
+
+        Re-dials the DV (fresh ``hello`` handshake) when the underlying
+        connection supports it, then re-registers the context — the
+        failover primitive the cluster tier builds on: a client whose
+        daemon restarted (or whose context moved to another node) calls
+        this and resumes on the same session object.  Acquire requests
+        that were in flight when the link died have already failed;
+        re-issue them after reconnecting.
+        """
+        reconnect = getattr(self.connection, "reconnect", None)
+        if callable(reconnect):
+            reconnect()
+        self.connection.attach(self.context)
+        self._finalized = False
+
     def finalize(self) -> None:
         """``SIMFS_Finalize``: detach from the context."""
         if not self._finalized:

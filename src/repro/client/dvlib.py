@@ -24,11 +24,14 @@ import os
 import queue
 import socket
 import threading
+import time
 import uuid
 from dataclasses import dataclass
 
 from repro.core.errors import (
     ConnectionLostError,
+    DETAIL_ALREADY_CONNECTED,
+    DVConnectionLost,
     ErrorCode,
     InvalidArgumentError,
     RestartFailedError,
@@ -231,52 +234,133 @@ class TcpConnection(DVConnection):
         super().__init__(client_id)
         if codec not in SUPPORTED_CODECS:
             raise InvalidArgumentError(f"unknown codec {codec!r}")
+        self._host = host
+        self._port = port
+        self._connect_timeout = connect_timeout
+        self._want_codec = codec
         self._storage_dirs = dict(storage_dirs)
         self._restart_dirs = dict(restart_dirs)
-        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
-        self._sock.settimeout(None)
-        # Request/reply frames are tiny: Nagle's algorithm only adds
-        # latency to every RPC round trip.
-        try:
-            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        except OSError:
-            pass
         self._send_lock = threading.Lock()
         self._reqs = itertools.count(1)
         self._replies: dict[int, queue.Queue] = {}
         self._replies_lock = threading.Lock()
         self._closed = False
+        self._lost = True  # until the first handshake succeeds
         self.codec = CODEC_LEGACY
+        #: Extra fields the daemon attached to its hello reply (a cluster
+        #: node reports its ring/membership view here).
+        self.server_info: dict = {}
         # Client-side mirror of the daemon's wire counters (guarded by the
         # matching send/replies locks; surfaced via :meth:`wire_stats`).
         self._frames_sent = 0
         self._bytes_sent = 0
         self._frames_recv = 0
         self._bytes_recv = 0
-        self._listener = threading.Thread(
-            target=self._listen, name=f"dvlib-listen-{self.client_id}", daemon=True
-        )
-        # Handshake before the listener owns the socket.  The hello (and
-        # its reply) always travel as legacy newline JSON so negotiation
-        # itself needs no codec; ``vers``/``codec`` request the upgrade.
+        self._connect()
+
+    def _connect(self, deadline: float | None = None) -> None:
+        """Dial and run the hello handshake; starts the listener thread.
+
+        The hello (and its reply) always travel as legacy newline JSON so
+        negotiation itself needs no codec; ``vers``/``codec`` request the
+        upgrade.  ``deadline`` (reconnect path) allows brief retries of a
+        "client_id already connected" rejection while the daemon finishes
+        tearing down our previous connection.
+        """
+        try:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._connect_timeout
+            )
+        except OSError as exc:
+            raise DVConnectionLost(
+                f"cannot reach DV at {self._host}:{self._port}: {exc}"
+            ) from exc
+        sock.settimeout(None)
+        # Request/reply frames are tiny: Nagle's algorithm only adds
+        # latency to every RPC round trip.
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        self.codec = CODEC_LEGACY
         hello = {"op": "hello", "req": 0, "client_id": self.client_id}
-        if codec != CODEC_LEGACY:
+        if self._want_codec != CODEC_LEGACY:
             hello["vers"] = PROTOCOL_VERSION
-            hello["codec"] = codec
-        send_message(self._sock, hello)
-        reader = MessageReader(self._sock)
-        reply = reader.read_message()
+            hello["codec"] = self._want_codec
+        try:
+            send_message(sock, hello)
+            reader = MessageReader(sock)
+            reply = reader.read_message()
+        except (OSError, SimFSError) as exc:
+            sock.close()
+            raise DVConnectionLost(f"DV handshake failed: {exc}") from exc
         if reply is None or reply.get("op") != "reply":
-            raise ConnectionLostError("DV handshake failed")
+            sock.close()
+            raise DVConnectionLost("DV handshake failed")
         if reply.get("error"):
-            self._sock.close()
-            raise _error_from_code(reply["error"], reply.get("detail", ""))
+            sock.close()
+            error = _error_from_code(reply["error"], reply.get("detail", ""))
+            if deadline is not None and DETAIL_ALREADY_CONNECTED in str(error):
+                # Reconnect race: the daemon releases a dead connection's
+                # client_id asynchronously (worker-pool cleanup); ours may
+                # still be reserved for a few milliseconds.
+                if time.monotonic() < deadline:
+                    time.sleep(0.05)
+                    return self._connect(deadline)
+            raise error
         granted = reply.get("codec", CODEC_LEGACY)
         if granted in SUPPORTED_CODECS and granted != CODEC_LEGACY:
             self.codec = granted
             reader.set_codec(granted)
-        self._reader = reader
+        self.server_info = {
+            key: value for key, value in reply.items()
+            if key not in ("op", "req", "error", "detail")
+        }
+        self._sock = sock
+        # Swap reader and clear the lost flag atomically with respect to
+        # the old listener's teardown check (see _listen).
+        with self._replies_lock:
+            self._reader = reader
+            self._lost = False
+        self._listener = threading.Thread(
+            target=self._listen, args=(reader,),
+            name=f"dvlib-listen-{self.client_id}", daemon=True,
+        )
         self._listener.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The daemon address this connection dials."""
+        return (self._host, self._port)
+
+    @property
+    def is_lost(self) -> bool:
+        """True once the link died (or was closed); :meth:`reconnect`
+        clears it."""
+        return self._lost or self._closed
+
+    def reconnect(self) -> None:
+        """Re-dial the daemon: fresh socket, fresh ``hello`` handshake.
+
+        The client_id and the ready table survive, so a
+        :class:`~repro.client.api.SimFSSession` can re-register its
+        context and resume after a daemon restart or failover.  RPCs that
+        were in flight when the link died have already failed with
+        :class:`DVConnectionLost`; callers re-issue them.
+        """
+        if self._closed:
+            raise DVConnectionLost("connection is closed")
+        self._lost = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except (OSError, AttributeError):
+            pass
+        try:
+            self._sock.close()
+        except (OSError, AttributeError):
+            pass
+        self._fail_outstanding()
+        self._connect(deadline=time.monotonic() + 5.0)
 
     def wire_stats(self) -> dict:
         """Client-side wire counters (frames/bytes in each direction)."""
@@ -289,15 +373,15 @@ class TcpConnection(DVConnection):
         return {"codec": self.codec, **sent, **recv}
 
     # -- plumbing ----------------------------------------------------------#
-    def _listen(self) -> None:
+    def _listen(self, reader: MessageReader) -> None:
         try:
-            while not self._closed:
-                message = self._reader.read_message()
+            while not self._closed and self._reader is reader:
+                message = reader.read_message()
                 if message is None:
                     break
                 with self._replies_lock:
                     self._frames_recv += 1
-                    self._bytes_recv = self._reader.bytes_read
+                    self._bytes_recv = reader.bytes_read
                 if message.get("op") == "ready":
                     self.ready_table.record(
                         message["context"], message["file"], bool(message.get("ok", True))
@@ -309,12 +393,25 @@ class TcpConnection(DVConnection):
                         waiter.put(message)
         except (SimFSError, OSError):
             pass
-        # Unblock any RPC still waiting.
+        # Mark the link dead and unblock any RPC still waiting — but only
+        # if this listener still owns the connection (a reconnect swaps
+        # in a new reader before this thread observes the old socket
+        # die).  The check-and-set is atomic under _replies_lock: a stale
+        # listener racing a concurrent reconnect must not mark the fresh
+        # connection lost after the swap.
         with self._replies_lock:
-            for waiter in self._replies.values():
-                waiter.put({"op": "reply", "error": int(ErrorCode.ERR_CONNECTION),
-                            "detail": "connection lost"})
+            owns = self._reader is reader
+            if owns:
+                self._lost = True
+        if owns:
+            self._fail_outstanding()
+
+    def _fail_outstanding(self) -> None:
+        with self._replies_lock:
+            waiters = list(self._replies.values())
             self._replies.clear()
+        for waiter in waiters:
+            waiter.put(None)  # sentinel: the link is gone
 
     def _rpc(self, message: dict, timeout: float = 60.0) -> dict:
         if self._closed:
@@ -323,19 +420,39 @@ class TcpConnection(DVConnection):
         message["req"] = req
         return self._rpc_send(req, encode_frame(message, self.codec), timeout)
 
+    def call(self, message: dict, timeout: float = 60.0) -> dict:
+        """Generic RPC: send any op-bearing message, return its reply.
+
+        The escape hatch for service-level ops outside the classic DVLib
+        surface (``{"op": "cluster"}``, future admin ops).
+        """
+        return self._rpc(dict(message), timeout)
+
     def _rpc_send(self, req: int, data: bytes, timeout: float = 60.0) -> dict:
         """Ship one pre-encoded request frame and await its reply."""
+        if self._lost:
+            raise DVConnectionLost("DV connection lost (reconnect to resume)")
         waiter: queue.Queue = queue.Queue(maxsize=1)
         with self._replies_lock:
             self._replies[req] = waiter
-        with self._send_lock:
-            self._frames_sent += 1
-            self._bytes_sent += len(data)
-            self._sock.sendall(data)
+        try:
+            with self._send_lock:
+                self._frames_sent += 1
+                self._bytes_sent += len(data)
+                self._sock.sendall(data)
+        except OSError as exc:
+            self._lost = True
+            with self._replies_lock:
+                self._replies.pop(req, None)
+            raise DVConnectionLost(f"DV connection lost: {exc}") from exc
         try:
             reply = waiter.get(timeout=timeout)
         except queue.Empty:
+            with self._replies_lock:
+                self._replies.pop(req, None)
             raise ConnectionLostError("DV reply timed out") from None
+        if reply is None:
+            raise DVConnectionLost("DV connection lost mid-request")
         error = reply.get("error", 0)
         if error:
             raise _error_from_code(error, reply.get("detail", ""))

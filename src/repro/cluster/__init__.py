@@ -1,0 +1,37 @@
+"""DV cluster tier: a consistent-hash ring of cooperating daemons.
+
+The single-daemon DV (:mod:`repro.dv`) owns every context of an
+installation; this package spreads contexts across peers:
+
+* :mod:`repro.cluster.ring` — :class:`HashRing`, the deterministic
+  ``context_name`` → node mapping every participant computes locally;
+* :mod:`repro.cluster.membership` — :class:`PeerTable`, the gossiped
+  generation-numbered peer view behind failure detection;
+* :mod:`repro.cluster.link` — :class:`PeerLink`, node-to-node RPC over
+  the ordinary DV wire protocol (``fwd``/``fwd_reply``/``gossip`` ops);
+* :mod:`repro.cluster.node` — :class:`ClusterNode`, a DVServer plus the
+  gateway-forwarding, ready-routing and failover machinery;
+* :mod:`repro.cluster.client` — :class:`ClusterConnection`, the
+  one-hop cluster-aware DVLib connection.
+
+The DES twin lives in :class:`repro.des.components.VirtualCluster`,
+which drives the same :class:`HashRing`/:class:`PeerTable` logic on the
+virtual clock for node-count sweeps and failure-schedule experiments.
+"""
+
+from repro.cluster.client import ClusterConnection
+from repro.cluster.link import PeerLink
+from repro.cluster.membership import PeerInfo, PeerTable
+from repro.cluster.node import ClusterNode, ContextSpec, parse_peer
+from repro.cluster.ring import HashRing
+
+__all__ = [
+    "HashRing",
+    "PeerInfo",
+    "PeerTable",
+    "PeerLink",
+    "ClusterNode",
+    "ContextSpec",
+    "parse_peer",
+    "ClusterConnection",
+]

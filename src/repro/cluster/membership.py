@@ -1,0 +1,170 @@
+"""Cluster membership: the peer table behind the gossip plane.
+
+A :class:`PeerTable` is the pure state machine both deployments drive —
+the TCP cluster node feeds it wall-clock heartbeat outcomes and gossiped
+views, the DES model feeds it virtual-time failure schedules.  It holds
+no sockets and no threads, which is what makes the failover logic
+testable without either.
+
+Every peer entry carries a **generation**: a number the node picks at
+startup and bumps on every restart.  Merge rules during gossip:
+
+* an unknown node is added (joins propagate epidemically);
+* a higher generation always wins (a restarted node supersedes every
+  rumor about its previous life);
+* at equal generation, *dead beats alive* — a death rumor spreads and
+  sticks until the node itself comes back with a new generation.
+
+Liveness is heartbeat-driven: ``heartbeat_missed`` counts consecutive
+failures and declares the peer dead at ``suspect_after``;
+``link_failed`` is the fast path for hard evidence (a TCP reset from a
+forwarding attempt) and kills the entry immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PeerInfo", "PeerTable"]
+
+
+@dataclass
+class PeerInfo:
+    """One row of the peer table."""
+
+    node_id: str
+    host: str
+    port: int
+    generation: int = 1
+    alive: bool = True
+    last_seen: float = 0.0
+    missed: int = 0
+
+    def wire(self) -> dict:
+        """JSON form carried inside ``gossip`` frames."""
+        return {
+            "id": self.node_id, "host": self.host, "port": self.port,
+            "gen": self.generation, "alive": self.alive,
+        }
+
+
+@dataclass
+class PeerTable:
+    """Membership view of one node (itself included, always alive)."""
+
+    self_id: str
+    self_host: str = "127.0.0.1"
+    self_port: int = 0
+    generation: int = 1
+    suspect_after: int = 3
+    peers: dict[str, PeerInfo] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.peers[self.self_id] = PeerInfo(
+            self.self_id, self.self_host, self.self_port, self.generation
+        )
+
+    # ------------------------------------------------------------------ #
+    def upsert(
+        self, node_id: str, host: str, port: int,
+        generation: int = 1, now: float = 0.0,
+    ) -> bool:
+        """Add or refresh a peer (seed configuration, gossip discovery)."""
+        known = self.peers.get(node_id)
+        if known is None:
+            self.peers[node_id] = PeerInfo(
+                node_id, host, port, generation, last_seen=now
+            )
+            return True
+        if generation > known.generation:
+            self.peers[node_id] = PeerInfo(
+                node_id, host, port, generation, last_seen=now
+            )
+            return True
+        return False
+
+    def merge_view(self, view: list[dict], now: float = 0.0) -> bool:
+        """Fold a gossiped peer list into this table; True if anything
+        changed that affects the ring (joins, deaths, resurrections)."""
+        changed = False
+        for entry in view:
+            node_id = entry.get("id")
+            if not isinstance(node_id, str) or node_id == self.self_id:
+                continue  # nobody outranks a node about itself
+            generation = int(entry.get("gen", 1))
+            alive = bool(entry.get("alive", True))
+            known = self.peers.get(node_id)
+            if known is None:
+                self.peers[node_id] = PeerInfo(
+                    node_id, str(entry.get("host", "")), int(entry.get("port", 0)),
+                    generation, alive=alive, last_seen=now,
+                )
+                changed = True
+            elif generation > known.generation:
+                known.generation = generation
+                known.host = str(entry.get("host", known.host))
+                known.port = int(entry.get("port", known.port))
+                if known.alive != alive:
+                    known.alive = alive
+                    changed = True
+                known.missed = 0
+                known.last_seen = now
+            elif generation == known.generation and known.alive and not alive:
+                known.alive = False  # death rumor sticks
+                changed = True
+        return changed
+
+    def view(self) -> list[dict]:
+        """This table's wire form (the ``view`` field of ``gossip``)."""
+        return [peer.wire() for peer in self.peers.values()]
+
+    # ------------------------------------------------------------------ #
+    def heartbeat_ok(self, node_id: str, now: float = 0.0) -> None:
+        peer = self.peers.get(node_id)
+        if peer is not None:
+            peer.missed = 0
+            peer.last_seen = now
+
+    def heartbeat_missed(self, node_id: str) -> bool:
+        """Record one missed heartbeat; True when this crossed the
+        suspicion threshold and the peer is now considered dead."""
+        peer = self.peers.get(node_id)
+        if peer is None or not peer.alive:
+            return False
+        peer.missed += 1
+        if peer.missed >= self.suspect_after:
+            peer.alive = False
+            return True
+        return False
+
+    def link_failed(self, node_id: str) -> bool:
+        """Hard evidence (connection reset mid-RPC): declare dead now."""
+        peer = self.peers.get(node_id)
+        if peer is None or not peer.alive or node_id == self.self_id:
+            return False
+        peer.alive = False
+        return True
+
+    def mark_alive(self, node_id: str, now: float = 0.0) -> bool:
+        """Direct contact with a previously dead peer (same generation)."""
+        peer = self.peers.get(node_id)
+        if peer is None or peer.alive:
+            return False
+        peer.alive = True
+        peer.missed = 0
+        peer.last_seen = now
+        return True
+
+    # ------------------------------------------------------------------ #
+    def alive_ids(self) -> list[str]:
+        return sorted(p.node_id for p in self.peers.values() if p.alive)
+
+    def alive_peers(self) -> list[PeerInfo]:
+        """Live peers excluding this node (the heartbeat targets)."""
+        return [
+            p for p in self.peers.values()
+            if p.alive and p.node_id != self.self_id
+        ]
+
+    def get(self, node_id: str) -> PeerInfo | None:
+        return self.peers.get(node_id)

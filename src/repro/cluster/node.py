@@ -1,0 +1,852 @@
+"""ClusterNode: a DV daemon cooperating in a consistent-hash ring.
+
+One :class:`ClusterNode` wraps one :class:`~repro.dv.server.DVServer`
+and adds the three cluster planes:
+
+**Ownership** — every node knows the full context catalog
+(:meth:`add_context` is called with the same specs on every node) but
+*activates* only the contexts the :class:`~repro.cluster.ring.HashRing`
+assigns to it: activation registers the shard with the coordinator and
+scans the (PFS-shared) storage area; deactivation unregisters it.  When
+membership changes, the ring diff drives activate/deactivate on every
+node independently — no coordinator election, no migration protocol,
+just convergent hashing.
+
+**Gateway forwarding** — any node accepts any client.  An op naming a
+context this node does not own is wrapped in a ``fwd`` frame and shipped
+to the owner over a :class:`~repro.cluster.link.PeerLink`; the owner
+executes it against its shard on behalf of the client and answers with
+``fwd_reply``.  ``ready`` notifications for such proxied clients travel
+the reverse path: the owner remembers which peer each proxied client
+entered through and pushes a one-way ``fwd(ready)`` down that peer
+link's server side; the ingress node delivers it to the real client
+connection.  Clients that want one-hop steady state use
+:class:`~repro.cluster.client.ClusterConnection` instead and talk to
+owners directly.
+
+**Membership/failover** — a heartbeat thread gossips the
+:class:`~repro.cluster.membership.PeerTable` with every live peer; a
+peer is declared dead after ``suspect_after`` missed rounds, or
+immediately when a forwarding RPC hits a torn connection.  Death removes
+the node from the ring, the survivors activate the contexts they
+inherit, and the ingress nodes **replay** every forwarded open still
+waiting on the dead owner against the new one — blocked clients are
+re-queued instead of hung.  A node losing ownership while alive does the
+same replay for its own captured waiters before unregistering the shard.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.link import PeerLink, PeerTimeout
+from repro.cluster.membership import PeerTable
+from repro.cluster.ring import HashRing
+from repro.core.context import SimulationContext
+from repro.core.errors import (
+    ContextError,
+    DETAIL_ALREADY_ATTACHED,
+    DETAIL_NOT_ATTACHED,
+    DVConnectionLost,
+    ErrorCode,
+    InvalidArgumentError,
+    ProtocolError,
+    SimFSError,
+)
+from repro.dv.coordinator import Notification
+from repro.dv.protocol import OP_FWD, OP_GOSSIP, make_fwd, unwrap_fwd
+from repro.dv.server import _ROUTABLE_OPS, DVServer
+
+__all__ = ["ContextSpec", "ClusterNode", "parse_peer"]
+
+
+def parse_peer(spec: str) -> tuple[str | None, str, int]:
+    """Parse ``id@host:port`` (ring membership known up front) or
+    ``host:port`` (node id learned from the first gossip exchange)."""
+    node_id: str | None = None
+    addr = spec
+    if "@" in spec:
+        node_id, addr = spec.split("@", 1)
+    host, _, port = addr.rpartition(":")
+    if not host or not port.isdigit():
+        raise InvalidArgumentError(
+            f"peer spec {spec!r} is not [id@]host:port"
+        )
+    return node_id, host, int(port)
+
+
+@dataclass
+class ContextSpec:
+    """Catalog entry: how to activate one context on this node."""
+
+    context: SimulationContext
+    output_dir: str
+    restart_dir: str
+    alpha_delay: float = 0.0
+    tau_delay: float = 0.0
+
+
+@dataclass
+class _ProxyClient:
+    """Owner-side stand-in for a client connected at a peer gateway.
+
+    Quacks like the server's ``_ClientConn`` where op handlers care
+    (``client_id``/``contexts``); ``conn`` is the peer's server-side
+    connection, the channel ``ready`` notifications route back through.
+    """
+
+    client_id: str
+    origin: str | None = None
+    peer_client_id: str | None = None
+    conn: object | None = None
+    contexts: set[str] = field(default_factory=set)
+
+
+class ClusterNode:
+    """One DV daemon in a cluster of cooperating peers."""
+
+    def __init__(
+        self,
+        node_id: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        peers: tuple[str, ...] | list[str] = (),
+        vnodes: int = 16,
+        generation: int = 1,
+        heartbeat_interval: float = 0.5,
+        suspect_after: int = 3,
+        rpc_timeout: float = 10.0,
+        mode: str = "selector",
+        workers: int | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.heartbeat_interval = heartbeat_interval
+        self.rpc_timeout = rpc_timeout
+        # Cluster nodes need worker headroom beyond the plain daemon's
+        # default: a forwarded op parks a worker on a peer round trip,
+        # and gossip merges run there too.
+        self.server = DVServer(host, port, mode=mode, workers=workers or 4)
+        self.metrics = self.server.metrics
+        self.ring = HashRing(vnodes)
+        self.table = PeerTable(
+            node_id, host, port,
+            generation=generation, suspect_after=suspect_after,
+        )
+        #: Serializes membership/ring/activation state.  Never held across
+        #: a peer round trip (replays run after release).
+        self._lock = threading.RLock()
+        self._links: dict[str, PeerLink] = {}
+        self._links_lock = threading.Lock()
+        self._seeds: list[tuple[str, int]] = []
+        self._specs: dict[str, ContextSpec] = {}
+        self._active: set[str] = set()
+        # Owner-side proxies for clients that entered through a peer.
+        self._proxies: dict[str, _ProxyClient] = {}
+        # Ingress-side state for this node's own clients: which contexts
+        # each reaches through forwarding (and who owned them at attach
+        # time), plus which forwarded opens still wait on a ready from
+        # which owner.  Ownership changes trigger re-attach/replay.
+        self._ingress_ctx: dict[str, dict[str, str]] = {}
+        self._pending: dict[tuple[str, str, str], str] = {}
+        self._stop = threading.Event()
+        self._hb_thread: threading.Thread | None = None
+        # Dead-peer probe pacing: heartbeat round counter and per-peer
+        # failed-probe counts (probe every 2^misses rounds, capped).
+        self._hb_round = 0
+        self._probe_backoff: dict[str, int] = {}
+
+        for spec in peers:
+            peer_id, peer_host, peer_port = parse_peer(spec)
+            if peer_id is None:
+                self._seeds.append((peer_host, peer_port))
+            elif peer_id != node_id:
+                self.table.upsert(peer_id, peer_host, peer_port)
+
+        self._m_fwd_sent = self.metrics.counter("cluster.fwd_sent")
+        self._m_fwd_recv = self.metrics.counter("cluster.fwd_received")
+        self._m_ready_routed = self.metrics.counter("cluster.ready_routed")
+        self._m_gossip = self.metrics.counter("cluster.gossip_rounds")
+        self._m_failovers = self.metrics.counter("cluster.failovers")
+        self._m_replayed = self.metrics.counter("cluster.replayed_waits")
+        self._m_epoch = self.metrics.gauge("cluster.ring_epoch")
+        self._m_peers = self.metrics.gauge("cluster.peers_alive")
+
+        self.server.register_op(
+            OP_FWD, self._op_fwd, reply_op="fwd_reply", needs_worker=True
+        )
+        self.server.register_op(OP_GOSSIP, self._op_gossip, needs_worker=True)
+        # describe() takes the cluster lock, which activation may hold
+        # across a PFS directory scan — never run it on the event loop.
+        self.server.register_op("cluster", self._op_cluster, needs_worker=True)
+        self.server.set_cluster_hooks(
+            route_op=self._route_op,
+            ready_router=self._ready_router,
+            hello_extra=self._hello_extra,
+            drop_hook=self._drop_hook,
+        )
+        with self._lock:
+            self._sync_ring()
+
+    # ------------------------------------------------------------------ #
+    # Context catalog
+    # ------------------------------------------------------------------ #
+    def add_context(
+        self,
+        context: SimulationContext,
+        output_dir: str,
+        restart_dir: str,
+        alpha_delay: float = 0.0,
+        tau_delay: float = 0.0,
+    ) -> None:
+        """Declare a context cluster-wide; activate it here if owned.
+
+        Call with the same catalog on every node — ``output_dir``/
+        ``restart_dir`` normally live on the shared PFS, so whichever
+        node owns the context finds the same files.
+        """
+        with self._lock:
+            self._specs[context.name] = ContextSpec(
+                context, output_dir, restart_dir, alpha_delay, tau_delay
+            )
+            if self.ring.owner(context.name) == self.node_id:
+                self._activate(context.name)
+
+    def owner_of(self, context_name: str) -> str | None:
+        with self._lock:
+            return self.ring.owner(context_name)
+
+    def active_contexts(self) -> list[str]:
+        with self._lock:
+            return sorted(self._active)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.address
+
+    def start(self) -> None:
+        self.server.start()
+        host, port = self.server.address
+        with self._lock:
+            me = self.table.peers[self.node_id]
+            me.host, me.port = host, port
+        self._hb_thread = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"cluster-hb-{self.node_id}",
+            daemon=True,
+        )
+        self._hb_thread.start()
+
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        """Tear the node down (abruptly from the peers' point of view —
+        survivors notice through heartbeats, exactly like a crash)."""
+        self._stop.set()
+        if self._hb_thread is not None:
+            self._hb_thread.join(timeout=5.0)
+        with self._links_lock:
+            links, self._links = list(self._links.values()), {}
+        for link in links:
+            link.close()
+        self.server.stop(drain_timeout=drain_timeout)
+
+    def __enter__(self) -> "ClusterNode":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Ring maintenance (all called with self._lock held)
+    # ------------------------------------------------------------------ #
+    def _sync_ring(self) -> tuple[list[tuple[str, str]], list[tuple[str, str, str]]]:
+        """Reconcile ring membership with the peer table; activate and
+        deactivate contexts accordingly.  Returns the client re-attaches
+        and waiter replays the caller must run *after* releasing the lock
+        (they cross the wire)."""
+        alive = set(self.table.alive_ids())
+        changed = False
+        for node_id in self.ring.nodes():
+            if node_id not in alive:
+                changed |= self.ring.remove_node(node_id)
+        for node_id in sorted(alive):
+            if node_id not in self.ring:
+                changed |= self.ring.add_node(node_id)
+        self._m_epoch.set(self.ring.epoch)
+        self._m_peers.set(len(alive))
+        if not changed:
+            return [], []
+        reattaches: list[tuple[str, str]] = []
+        replays: list[tuple[str, str, str]] = []
+        for name in sorted(self._specs):
+            owner = self.ring.owner(name)
+            if owner == self.node_id and name not in self._active:
+                self._activate(name)
+            elif owner != self.node_id and name in self._active:
+                attached, waits = self._deactivate(name)
+                reattaches.extend(attached)
+                replays.extend(waits)
+        # This node's clients whose forwarded attachment points at a node
+        # that no longer owns the context: re-register them with the new
+        # owner so their next op does not bounce with "not attached".
+        for client_id, attachments in self._ingress_ctx.items():
+            for context_name, owner in attachments.items():
+                if self.ring.owner(context_name) != owner:
+                    reattaches.append((client_id, context_name))
+        # Forwarded opens whose owner is gone: queue them for replay
+        # against whoever the ring now assigns.
+        for key, owner in list(self._pending.items()):
+            if owner not in alive:
+                client_id, context_name, filename = key
+                replays.append((client_id, context_name, filename))
+                del self._pending[key]
+        return reattaches, replays
+
+    def _activate(self, name: str) -> None:
+        spec = self._specs[name]
+        self.server.add_context(
+            spec.context, spec.output_dir, spec.restart_dir,
+            alpha_delay=spec.alpha_delay, tau_delay=spec.tau_delay,
+        )
+        self._active.add(name)
+
+    def _deactivate(
+        self, name: str
+    ) -> tuple[list[tuple[str, str]], list[tuple[str, str, str]]]:
+        """Unregister a context this node no longer owns.  Attached
+        clients and captured waiters are returned for re-registration and
+        replay against the new owner (waiters are cleared first, so the
+        unregister does not fail them)."""
+        coordinator = self.server.coordinator
+        self._active.discard(name)
+        try:
+            shard = coordinator.shard(name)
+        except ContextError:
+            return [], []
+        with shard.lock:
+            attached = list(shard.agents)
+            captured = [
+                (client_id, shard.context.filename_of(key))
+                for key, waiting in shard.waiters.items()
+                for client_id in waiting
+            ]
+            shard.waiters.clear()
+        try:
+            coordinator.unregister_context(name)
+        except ContextError:
+            pass
+        return (
+            [(client_id, name) for client_id in attached],
+            [(client_id, name, filename) for client_id, filename in captured],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Membership plane
+    # ------------------------------------------------------------------ #
+    def _apply_membership(self, mutate) -> None:
+        """Run a peer-table mutation; if it changed the ring, reassign
+        contexts, re-attach displaced clients and replay orphaned waiters
+        (outside the lock)."""
+        with self._lock:
+            reattaches, replays = (
+                self._sync_ring() if mutate() else ([], [])
+            )
+        if reattaches or replays:
+            self._m_failovers.inc()
+            # A replay serializes peer round trips: run it on its own
+            # thread so neither the heartbeat loop nor a pool worker
+            # (both of which land here) stalls on it — a starved worker
+            # pool would time out inbound gossip and cascade false
+            # death verdicts.
+            threading.Thread(
+                target=self._replay, args=(reattaches, replays),
+                name=f"cluster-replay-{self.node_id}", daemon=True,
+            ).start()
+
+    def _peer_down(self, node_id: str) -> None:
+        """Hard evidence a peer is gone (torn forwarding connection)."""
+        with self._links_lock:
+            link = self._links.pop(node_id, None)
+        if link is not None:
+            link.close()
+        self._apply_membership(lambda: self.table.link_failed(node_id))
+
+    def _on_link_down(self, node_id: str) -> None:
+        self._peer_down(node_id)
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            try:
+                self._gossip_round()
+            except Exception:
+                # The membership plane must survive any single bad round.
+                pass
+
+    def _gossip_round(self) -> None:
+        with self._lock:
+            view = self.table.view()
+            targets = list(self.table.alive_peers())
+            known_addrs = {(p.host, p.port) for p in self.table.peers.values()}
+        frame = {"op": OP_GOSSIP, "from": self.node_id, "view": view}
+        for peer in targets:
+            if self._stop.is_set():
+                return
+            try:
+                reply = self._link_to(peer.node_id).call(
+                    frame, timeout=self.rpc_timeout
+                )
+            except (DVConnectionLost, SimFSError, OSError):
+                self._apply_membership(
+                    lambda peer_id=peer.node_id:
+                        self.table.heartbeat_missed(peer_id)
+                )
+                continue
+            self._m_gossip.inc()
+            peer_view = reply.get("view") or []
+            self._apply_membership(
+                lambda peer_id=peer.node_id, peer_view=peer_view: (
+                    self.table.heartbeat_ok(peer_id, now=time.time()),
+                    self.table.merge_view(peer_view, now=time.time()),
+                )[1]
+            )
+        # Probe dead peers too: if both sides declared each other dead
+        # (symmetric partition), neither would otherwise ever dial again.
+        # Probes back off exponentially per peer (capped at one probe per
+        # 64 rounds) so a decommissioned peer does not cost every round
+        # a dial timeout forever.
+        self._hb_round += 1
+        with self._lock:
+            dead = [
+                p for p in self.table.peers.values()
+                if not p.alive and p.node_id != self.node_id
+            ]
+        for peer in dead:
+            if self._stop.is_set():
+                return
+            misses = self._probe_backoff.get(peer.node_id, 0)
+            if self._hb_round % min(1 << misses, 64):
+                continue
+            try:
+                probe = PeerLink(
+                    self.node_id, peer.node_id, peer.host, peer.port,
+                    connect_timeout=1.0,
+                )
+            except DVConnectionLost:
+                self._probe_backoff[peer.node_id] = misses + 1
+                continue
+            try:
+                reply = probe.call(frame, timeout=self.rpc_timeout)
+            except (DVConnectionLost, SimFSError, OSError):
+                self._probe_backoff[peer.node_id] = misses + 1
+                continue
+            finally:
+                probe.close()
+            self._probe_backoff.pop(peer.node_id, None)
+            peer_view = reply.get("view") or []
+            self._apply_membership(
+                lambda peer_id=peer.node_id, peer_view=peer_view: (
+                    self.table.mark_alive(peer_id, now=time.time())
+                    | self.table.merge_view(peer_view, now=time.time())
+                )
+            )
+        # Seeds configured as bare host:port — gossip once to learn ids.
+        for host, port in list(self._seeds):
+            if (host, port) in known_addrs:
+                self._seeds.remove((host, port))
+                continue
+            try:
+                # Bounded dial: an unreachable seed must not stretch the
+                # heartbeat round (and with it, failure detection).
+                probe = PeerLink(
+                    self.node_id, f"{host}:{port}", host, port,
+                    connect_timeout=1.0,
+                )
+            except DVConnectionLost:
+                continue
+            try:
+                reply = probe.call(frame, timeout=self.rpc_timeout)
+            except (DVConnectionLost, SimFSError, OSError):
+                continue
+            finally:
+                probe.close()
+            peer_id = reply.get("from")
+            peer_view = reply.get("view") or []
+            if isinstance(peer_id, str):
+                self._apply_membership(
+                    lambda: self.table.upsert(
+                        peer_id, host, port, now=time.time()
+                    ) | self.table.merge_view(peer_view, now=time.time())
+                )
+                self._seeds.remove((host, port))
+
+    def _link_to(self, node_id: str) -> PeerLink:
+        with self._links_lock:
+            link = self._links.get(node_id)
+            if link is not None and not link.closed:
+                return link
+        peer = self.table.get(node_id)
+        if peer is None or not peer.alive:
+            raise DVConnectionLost(f"peer {node_id!r} is not alive")
+        fresh = PeerLink(
+            self.node_id, node_id, peer.host, peer.port,
+            on_fwd=self._on_peer_fwd, on_down=self._on_link_down,
+        )
+        with self._links_lock:
+            link = self._links.get(node_id)
+            if link is not None and not link.closed:
+                fresh.close()  # lost the race; reuse the winner
+                return link
+            self._links[node_id] = fresh
+        return fresh
+
+    # ------------------------------------------------------------------ #
+    # Gateway forwarding (ingress side)
+    # ------------------------------------------------------------------ #
+    def _route_op(self, conn, message: dict) -> dict:
+        """DVServer hook: handle an op for a context this node does not
+        own by forwarding it to the owner.  Runs on a worker thread."""
+        inner = {k: v for k, v in message.items() if k != "req"}
+        payload, owner = self._forward_routed(conn.client_id, inner)
+        self._track_ingress(conn.client_id, inner, payload, owner)
+        return payload
+
+    def _track_ingress(
+        self, client_id: str, inner: dict, payload: dict, owner: str
+    ) -> None:
+        """Record ingress bookkeeping against ``owner`` — the node the op
+        was *actually* forwarded to (not a re-derived ring lookup: the
+        ring may already have moved on, and a pending wait recorded
+        against the wrong, still-alive owner would never be replayed)."""
+        op = inner.get("op")
+        context = inner.get("context")
+        if payload.get("error") or not isinstance(context, str):
+            return
+        # Under the cluster lock: _sync_ring iterates these tables while
+        # reconciling a membership change.
+        with self._lock:
+            if op == "attach":
+                self._ingress_ctx.setdefault(client_id, {})[context] = owner
+            elif op == "finalize":
+                self._ingress_ctx.get(client_id, {}).pop(context, None)
+            elif op == "open" and not payload.get("available"):
+                self._pending[(client_id, context, inner.get("file"))] = owner
+            elif op == "release":
+                self._pending.pop((client_id, context, inner.get("file")), None)
+            elif op == "acquire":
+                for result in payload.get("results", ()):
+                    if not result.get("available"):
+                        key = (client_id, context, result.get("file"))
+                        self._pending[key] = owner
+
+    def _forward_for(self, client_id: str, inner: dict) -> dict:
+        return self._forward_routed(client_id, inner)[0]
+
+    def _forward_routed(self, client_id: str, inner: dict) -> tuple[dict, str]:
+        """Route one op for one client to the context's current owner,
+        surviving owner death (fail over and retry) and activation lag
+        on a new owner (brief retry while membership converges).
+
+        Returns ``(payload, owner)`` where ``owner`` is the node that
+        actually served the op — the identity ingress bookkeeping must
+        record for the dead-owner replay scan.
+        """
+        context = inner.get("context")
+        deadline = time.monotonic() + self.rpc_timeout
+        while True:
+            with self._lock:
+                owner = self.ring.owner(context) if context else None
+                known = context in self._specs
+                if owner == self.node_id and known and context not in self._active:
+                    self._activate(context)
+            if owner is None:
+                return {
+                    "error": int(ErrorCode.ERR_CONTEXT),
+                    "detail": f"no live node owns context {context!r}",
+                }, self.node_id
+            if owner == self.node_id:
+                return self._execute_local(client_id, inner), owner
+            try:
+                link = self._link_to(owner)
+                self._m_fwd_sent.inc()
+                reply = link.call(
+                    make_fwd(self.node_id, client_id, inner),
+                    timeout=self.rpc_timeout,
+                )
+            except PeerTimeout:
+                # Slow, not dead: a stalled owner (workers parked on PFS
+                # I/O) must not be instantly exiled — that would activate
+                # its contexts here while it still serves them.  Feed the
+                # graded suspicion path instead and report the failure.
+                self._apply_membership(
+                    lambda: self.table.heartbeat_missed(owner)
+                )
+                return {
+                    "error": int(ErrorCode.ERR_CONNECTION),
+                    "detail": f"owner {owner!r} of {context!r} timed out",
+                }, owner
+            except (DVConnectionLost, OSError):
+                self._peer_down(owner)
+                if time.monotonic() >= deadline:
+                    return {
+                        "error": int(ErrorCode.ERR_CONNECTION),
+                        "detail": f"owner {owner!r} of {context!r} is unreachable",
+                    }, owner
+                continue
+            payload = reply.get("payload")
+            if not isinstance(payload, dict):
+                payload = {
+                    "error": reply.get("error", int(ErrorCode.ERR_PROTOCOL)),
+                    "detail": reply.get("detail", "malformed fwd_reply"),
+                }
+            if (
+                payload.get("error") == int(ErrorCode.ERR_CONTEXT)
+                and known
+                and time.monotonic() < deadline
+            ):
+                # The owner has not activated the context yet (its view of
+                # the membership change lags ours) — give it a beat.
+                time.sleep(0.05)
+                continue
+            if (
+                payload.get("error") == int(ErrorCode.ERR_INVALID)
+                and DETAIL_NOT_ATTACHED in payload.get("detail", "")
+                and inner.get("op") not in ("attach", "finalize")
+                and context in self._ingress_ctx.get(client_id, {})
+                and time.monotonic() < deadline
+            ):
+                # The context moved before our replay re-registered this
+                # client with the new owner: attach and retry.
+                if self._ensure_attached(client_id, context):
+                    continue
+            return payload, owner
+
+    def _execute_local(self, client_id: str, inner: dict) -> dict:
+        """Run a client op against the local shards on behalf of a client
+        that has no local connection object (replay, self-owned fallback)."""
+        op = inner.get("op")
+        handler = self.server._handlers.get(op)
+        if handler is None or op not in _ROUTABLE_OPS:
+            return {
+                "error": int(ErrorCode.ERR_PROTOCOL),
+                "detail": f"op {op!r} cannot be executed for a routed client",
+            }
+        proxy = self._proxies.get(client_id)
+        if proxy is None:
+            proxy = self._proxies.setdefault(client_id, _ProxyClient(client_id))
+        payload = self.server._run_op(proxy, handler, inner)
+        payload.setdefault("error", int(ErrorCode.SUCCESS))
+        if (
+            not payload.get("error")
+            and op == "finalize"
+            and not proxy.contexts
+        ):
+            # Last attachment gone: drop the proxy entry (both the fwd
+            # and the local-fallback path execute through here, so
+            # long-lived gateways do not accumulate dead proxies).
+            self._proxies.pop(client_id, None)
+        return payload
+
+    def _ensure_attached(self, client_id: str, context_name: str) -> bool:
+        """Register a client with the context's current owner, treating
+        "already attached" as success (replays race with each other and
+        with the client's own traffic)."""
+        payload, owner = self._forward_routed(
+            client_id, {"op": "attach", "context": context_name}
+        )
+        error = payload.get("error")
+        ok = not error or (
+            error == int(ErrorCode.ERR_INVALID)
+            and DETAIL_ALREADY_ATTACHED in payload.get("detail", "")
+        )
+        if ok:
+            with self._lock:
+                attachments = self._ingress_ctx.get(client_id)
+                if attachments is not None and context_name in attachments:
+                    attachments[context_name] = owner
+        return ok
+
+    def _replay(
+        self,
+        reattaches: list[tuple[str, str]],
+        replays: list[tuple[str, str, str]],
+    ) -> None:
+        """Re-register displaced clients with the new owner and re-issue
+        the forwarded opens stranded by the ownership change, so blocked
+        clients get their ready from the new owner instead of hanging on
+        the dead one."""
+        seen: set[tuple[str, str]] = set()
+        for client_id, context_name in reattaches:
+            if (client_id, context_name) not in seen:
+                seen.add((client_id, context_name))
+                self._ensure_attached(client_id, context_name)
+        for client_id, context_name, filename in replays:
+            if (client_id, context_name) not in seen:
+                seen.add((client_id, context_name))
+                if not self._ensure_attached(client_id, context_name):
+                    self.server._push_ready(
+                        Notification(client_id, context_name, filename, ok=False)
+                    )
+                    continue
+            payload, owner = self._forward_routed(
+                client_id,
+                {"op": "open", "context": context_name, "file": filename},
+            )
+            self._m_replayed.inc()
+            if payload.get("error"):
+                self.server._push_ready(
+                    Notification(client_id, context_name, filename, ok=False)
+                )
+            elif payload.get("available"):
+                # Already on the shared PFS: resolve the wait right away.
+                self.server._push_ready(
+                    Notification(client_id, context_name, filename, ok=True)
+                )
+            else:
+                with self._lock:
+                    self._pending[(client_id, context_name, filename)] = owner
+
+    # ------------------------------------------------------------------ #
+    # Gateway forwarding (owner side)
+    # ------------------------------------------------------------------ #
+    def _op_fwd(self, conn, message: dict) -> dict | None:
+        """Server op: execute a peer-forwarded client op locally."""
+        origin, client_id, inner = unwrap_fwd(message)
+        self._m_fwd_recv.inc()
+        if inner.get("op") == "ready":
+            # Symmetric delivery path: a peer dialled us to route a ready
+            # for a client that entered through this node.
+            self._deliver_routed_ready(client_id, inner)
+            return None
+        proxy = self._proxies.get(client_id)
+        if proxy is None:
+            proxy = self._proxies.setdefault(client_id, _ProxyClient(client_id))
+        proxy.origin = origin
+        proxy.peer_client_id = getattr(conn, "client_id", None)
+        proxy.conn = conn
+        return {"payload": self._execute_local(client_id, inner)}
+
+    def _ready_router(self, notification: Notification) -> None:
+        """DVServer hook: deliver a notification whose client is not a
+        local connection — push it through the proxied client's ingress
+        peer link."""
+        proxy = self._proxies.get(notification.client_id)
+        if proxy is None or proxy.conn is None:
+            return
+        frame = make_fwd(self.node_id, notification.client_id, {
+            "op": "ready",
+            "context": notification.context_name,
+            "file": notification.filename,
+            "ok": notification.ok,
+        })
+        try:
+            self.server._send(proxy.conn, frame)
+            self._m_ready_routed.inc()
+        except (OSError, SimFSError):
+            pass
+
+    def _on_peer_fwd(self, message: dict) -> None:
+        """PeerLink callback: unsolicited ``fwd`` from a peer over one of
+        our outbound links (the owner routing a ready back to us)."""
+        try:
+            _origin, client_id, inner = unwrap_fwd(message)
+        except ProtocolError:
+            return
+        if inner.get("op") == "ready":
+            self._deliver_routed_ready(client_id, inner)
+
+    def _deliver_routed_ready(self, client_id: str, inner: dict) -> None:
+        context = inner.get("context")
+        filename = inner.get("file")
+        ok = bool(inner.get("ok", True))
+        with self._lock:
+            self._pending.pop((client_id, context, filename), None)
+        self.server._push_ready(
+            Notification(client_id, context, filename, ok=ok)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Remaining hooks and service ops
+    # ------------------------------------------------------------------ #
+    def _op_gossip(self, conn, message: dict) -> dict:
+        view = message.get("view")
+        sender = message.get("from")
+
+        def mutate() -> bool:
+            changed = False
+            if isinstance(sender, str):
+                # Direct contact outranks any death rumor: the peer is
+                # talking to us, so it is alive — this is the rejoin path
+                # for a peer that was falsely declared dead (rumors at
+                # the same generation can never resurrect it).
+                changed |= self.table.mark_alive(sender, now=time.time())
+            if isinstance(view, list):
+                changed |= self.table.merge_view(view, now=time.time())
+            return changed
+
+        self._apply_membership(mutate)
+        with self._lock:
+            return {
+                "from": self.node_id,
+                "view": self.table.view(),
+                "epoch": self.ring.epoch,
+            }
+
+    def _op_cluster(self, conn, message: dict) -> dict:
+        return {
+            "cluster": self.describe(),
+            "metrics": self.metrics.snapshot("cluster."),
+        }
+
+    def _hello_extra(self) -> dict:
+        return {"cluster": self.describe()}
+
+    def describe(self) -> dict:
+        """JSON view of the ring/membership (hello extra, ``cluster`` op,
+        ``simfs-ctl cluster-status``)."""
+        with self._lock:
+            return {
+                "self": self.node_id,
+                "generation": self.table.generation,
+                "epoch": self.ring.epoch,
+                "vnodes": self.ring.vnodes,
+                "nodes": [p.wire() for p in self.table.peers.values()],
+                "contexts": {
+                    name: self.ring.owner(name) for name in sorted(self._specs)
+                },
+                "active": sorted(self._active),
+            }
+
+    def _drop_hook(self, client_id: str) -> None:
+        """DVServer hook: a connection died.  For a peer link, disconnect
+        every client it proxied; for a regular client, finalize its
+        forwarded attachments at their owners."""
+        if client_id.startswith("node:"):
+            orphans = [
+                p for p in list(self._proxies.values())
+                if p.peer_client_id == client_id
+            ]
+            for proxy in orphans:
+                self._proxies.pop(proxy.client_id, None)
+                for context in list(proxy.contexts):
+                    try:
+                        self.server.coordinator.client_disconnect(
+                            proxy.client_id, context, time.time()
+                        )
+                    except SimFSError:
+                        pass
+            return
+        with self._lock:
+            for key in [k for k in self._pending if k[0] == client_id]:
+                del self._pending[key]
+            forwarded = self._ingress_ctx.pop(client_id, {})
+        for context in forwarded:
+            try:
+                self._forward_for(
+                    client_id, {"op": "finalize", "context": context}
+                )
+            except Exception:
+                pass

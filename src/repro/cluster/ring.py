@@ -1,0 +1,92 @@
+"""Consistent-hash ring: ``context_name`` → owning DV daemon.
+
+The cluster tier spreads simulation contexts across cooperating daemons
+by consistent hashing with virtual nodes: every node is hashed onto the
+ring at ``vnodes`` points, and a context is owned by the first node
+clockwise from the hash of its name.  Virtual nodes smooth the split
+(with 64 vnodes the largest share is typically within ~20% of fair), and
+consistency keeps reassignment minimal — when a node dies, only the
+contexts it owned move, every other mapping is untouched.
+
+Hashes are MD5-derived, **not** Python's ``hash()``: the latter is
+per-process salted, and the whole point of the ring is that every
+daemon, every client, and the DES model compute the same owner for the
+same membership without talking to each other.  The ``epoch`` counter
+increments on every membership change; peers compare epochs during
+gossip to spot stale views cheaply.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+from repro.core.errors import InvalidArgumentError
+
+__all__ = ["HashRing"]
+
+
+def _hash64(data: str) -> int:
+    """Stable 64-bit hash point (first 8 bytes of MD5)."""
+    return int.from_bytes(
+        hashlib.md5(data.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Not thread-safe by itself — the cluster node and the DES model
+    serialize membership changes under their own locks.
+    """
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise InvalidArgumentError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self.epoch = 0
+        self._nodes: set[str] = set()
+        self._points: list[tuple[int, str]] = []  # sorted (hash, node_id)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def add_node(self, node_id: str) -> bool:
+        """Add a node; returns True when the membership actually changed."""
+        if node_id in self._nodes:
+            return False
+        self._nodes.add(node_id)
+        for idx in range(self.vnodes):
+            point = (_hash64(f"{node_id}#{idx}"), node_id)
+            self._points.insert(bisect_right(self._points, point), point)
+        self.epoch += 1
+        return True
+
+    def remove_node(self, node_id: str) -> bool:
+        """Remove a node; returns True when the membership actually changed."""
+        if node_id not in self._nodes:
+            return False
+        self._nodes.discard(node_id)
+        self._points = [p for p in self._points if p[1] != node_id]
+        self.epoch += 1
+        return True
+
+    def owner(self, context_name: str) -> str | None:
+        """The node owning ``context_name`` (None on an empty ring)."""
+        if not self._points:
+            return None
+        point = _hash64(context_name)
+        idx = bisect_right(self._points, (point, "￿"))
+        if idx == len(self._points):
+            idx = 0  # wrap around
+        return self._points[idx][1]
+
+    def assignment(self, context_names: list[str]) -> dict[str, str]:
+        """Bulk ``owner`` lookup: ``{context_name: node_id}``."""
+        return {name: self.owner(name) for name in context_names}

@@ -26,6 +26,17 @@ class ErrorCode(enum.IntEnum):
     ERR_CHECKSUM = 9         #: no reference checksum recorded for the file
 
 
+#: Stable substrings of error ``detail`` strings that cross-process
+#: retry logic keys on (the cluster gateway's re-attach, the clients'
+#: reconnect races).  The producers — :meth:`ContextShard.client_connect`
+#: / ``handle_*`` in shard.py, duplicate-hello rejection in server.py —
+#: must keep these phrases in their messages; consumers must match via
+#: these constants, never ad-hoc literals.
+DETAIL_ALREADY_ATTACHED = "already attached"
+DETAIL_NOT_ATTACHED = "not attached"
+DETAIL_ALREADY_CONNECTED = "already connected"
+
+
 class SimFSError(Exception):
     """Base class of all SimFS errors."""
 
@@ -60,6 +71,14 @@ class ConnectionLostError(SimFSError):
     """Raised when the DV daemon connection drops."""
 
     code = ErrorCode.ERR_CONNECTION
+
+
+class DVConnectionLost(ConnectionLostError):
+    """The TCP link to a DV daemon died mid-session (socket error, peer
+    crash, daemon restart).  Unlike the generic :class:`ConnectionLostError`
+    (also used for handshake failures and RPC timeouts), this one means a
+    previously working connection is gone — the signal the failover paths
+    (:meth:`SimFSSession.reconnect`, the cluster client) key on."""
 
 
 class InvalidArgumentError(SimFSError):

@@ -14,13 +14,21 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+from repro.cluster.membership import PeerTable
+from repro.cluster.ring import HashRing
 from repro.core.context import SimulationContext
-from repro.core.errors import InvalidArgumentError
+from repro.core.errors import ContextError, InvalidArgumentError
 from repro.des.engine import DESEngine, EventHandle
 from repro.dv.coordinator import DVCoordinator, Notification, RunningSim
 from repro.metrics import MetricsRegistry
 
-__all__ = ["DESExecutor", "VirtualAnalysis", "VirtualSimFS"]
+__all__ = [
+    "DESExecutor",
+    "VirtualAnalysis",
+    "VirtualSimFS",
+    "VirtualClusterNode",
+    "VirtualCluster",
+]
 
 
 class DESExecutor:
@@ -234,6 +242,279 @@ class VirtualSimFS:
         """The same metrics-plane snapshot the TCP daemon serves over the
         ``stats`` op — one logic, two deployments includes observability."""
         return self.coordinator.stats_snapshot()
+
+    def _route(self, notification: Notification) -> None:
+        analysis = self._analyses.get(notification.client_id)
+        if analysis is not None:
+            analysis.on_notification(notification)
+
+
+# --------------------------------------------------------------------- #
+# Virtual cluster: the cluster tier on the virtual clock
+# --------------------------------------------------------------------- #
+class VirtualClusterNode:
+    """One virtual DV daemon: its own coordinator + executor on the
+    shared engine, plus an aliveness flag the failure schedule flips."""
+
+    def __init__(
+        self,
+        node_id: str,
+        engine: DESEngine,
+        notify: Callable[[Notification], None],
+        queue_delay: Callable[[], float] | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.alive = True
+        self.executor = DESExecutor(engine, queue_delay)
+        self.metrics = MetricsRegistry()
+        self.coordinator = DVCoordinator(
+            self.executor, notify=notify, metrics=self.metrics
+        )
+        self.executor.bind(self.coordinator)
+
+
+class _ClusterRouter:
+    """The coordinator-shaped object a :class:`VirtualAnalysis` drives
+    when it runs against a :class:`VirtualCluster`: every call is routed
+    to the context's *current* owner, so analyses transparently follow
+    failovers.  Forwarded calls (ingress != owner) are counted — the
+    cluster's ``fwd_ratio`` statistic."""
+
+    def __init__(self, cluster: "VirtualCluster", ingress: str | None) -> None:
+        self._cluster = cluster
+        self._ingress = ingress
+
+    def _coordinator(self, context_name: str) -> DVCoordinator:
+        cluster = self._cluster
+        owner = cluster.ring.owner(context_name)
+        if owner is None:
+            raise ContextError("virtual cluster has no live nodes")
+        if self._ingress is not None and self._ingress != owner:
+            cluster.forwarded_ops += 1
+        cluster.total_ops += 1
+        return cluster.nodes[owner].coordinator
+
+    def client_connect(self, client_id: str, context_name: str) -> None:
+        self._coordinator(context_name).client_connect(client_id, context_name)
+        self._cluster._attachments.setdefault(client_id, set()).add(context_name)
+
+    def client_disconnect(
+        self, client_id: str, context_name: str, now: float
+    ) -> None:
+        self._coordinator(context_name).client_disconnect(
+            client_id, context_name, now
+        )
+        self._cluster._attachments.get(client_id, set()).discard(context_name)
+
+    def handle_open(self, client_id: str, context_name: str, filename: str, now: float):
+        return self._coordinator(context_name).handle_open(
+            client_id, context_name, filename, now
+        )
+
+    def handle_release(
+        self, client_id: str, context_name: str, filename: str, now: float
+    ) -> None:
+        self._coordinator(context_name).handle_release(
+            client_id, context_name, filename, now
+        )
+
+
+class VirtualCluster:
+    """The DV cluster tier in virtual time (Sec. IV methodology applied
+    to the cluster design): the *same* :class:`~repro.cluster.ring.HashRing`
+    and :class:`~repro.cluster.membership.PeerTable` logic the TCP
+    :class:`~repro.cluster.node.ClusterNode` runs, driven by the DES
+    engine — so node-count sweeps, failure schedules and skewed context
+    popularity can be explored without standing up daemons.
+
+    Modeling choices (kept deliberately explicit):
+
+    * Each node is a :class:`VirtualClusterNode` with its own coordinator;
+      contexts are registered on their ring owner.
+    * An analysis enters through an ``ingress`` node; when the ingress is
+      not the owner, every access pays ``2 * hop_latency`` extra client
+      time (the gateway round trip), folded into its ``tau_cli``.
+    * A scheduled failure kills the node's running simulations, drops its
+      shard state (the node-local cache is lost), and re-registers its
+      contexts on the ring's new owners immediately; the **waiter replay**
+      — re-issuing the opens that were blocked on the dead node — happens
+      ``detect_delay`` later, modeling failure-detection time.  Blocked
+      analyses therefore resume after detection instead of hanging,
+      exactly the live tier's failover contract.
+    """
+
+    def __init__(
+        self,
+        node_ids: Sequence[str] = ("n1", "n2", "n3"),
+        engine: DESEngine | None = None,
+        vnodes: int = 32,
+        hop_latency: float = 0.0,
+        detect_delay: float = 1.0,
+        queue_delay: Callable[[], float] | None = None,
+    ) -> None:
+        if not node_ids:
+            raise InvalidArgumentError("virtual cluster needs >= 1 node")
+        self.engine = engine or DESEngine()
+        self.hop_latency = hop_latency
+        self.detect_delay = detect_delay
+        self.ring = HashRing(vnodes)
+        # The DES drives the same PeerTable liveness logic as the TCP
+        # node; its self-id is a synthetic observer (a PeerTable refuses
+        # death verdicts about itself, and every *real* node here must be
+        # killable — including the first).
+        self.table = PeerTable("__des-observer__", "virtual", 0)
+        self.nodes: dict[str, VirtualClusterNode] = {}
+        for node_id in node_ids:
+            self.nodes[node_id] = VirtualClusterNode(
+                node_id, self.engine, self._route, queue_delay
+            )
+            self.ring.add_node(node_id)
+            self.table.upsert(node_id, "virtual", 0)
+        self._specs: dict[str, SimulationContext] = {}
+        self._located: dict[str, str] = {}  # context -> hosting node
+        self._analyses: dict[str, VirtualAnalysis] = {}
+        self._attachments: dict[str, set[str]] = {}
+        self.forwarded_ops = 0
+        self.total_ops = 0
+        self.failovers = 0
+        self.replayed_waits = 0
+
+    # ------------------------------------------------------------------ #
+    def add_context(self, context: SimulationContext) -> None:
+        owner = self.ring.owner(context.name)
+        self._specs[context.name] = context
+        self._register_on(context.name, owner)
+
+    def _register_on(self, context_name: str, node_id: str) -> None:
+        node = self.nodes[node_id]
+        node.coordinator.register_context(self._specs[context_name])
+        node.executor.register_context(self._specs[context_name])
+        self._located[context_name] = node_id
+
+    def owner_of(self, context_name: str) -> str | None:
+        return self.ring.owner(context_name)
+
+    def add_analysis(
+        self,
+        context: SimulationContext,
+        keys: Sequence[int],
+        tau_cli: float,
+        ingress: str | None = None,
+        client_id: str | None = None,
+        start_at: float = 0.0,
+    ) -> VirtualAnalysis:
+        """Start an analysis entering the cluster at ``ingress`` (owner
+        by default — the cluster-aware client's one-hop steady state)."""
+        client_id = client_id or f"analysis-{len(self._analyses) + 1}"
+        owner = self.ring.owner(context.name)
+        forwarded = ingress is not None and ingress != owner
+        effective_tau = tau_cli + (2 * self.hop_latency if forwarded else 0.0)
+        router = _ClusterRouter(self, ingress)
+        analysis = VirtualAnalysis(
+            self.engine, router, context, client_id, keys, effective_tau
+        )
+        self._analyses[client_id] = analysis
+        analysis.start(start_at)
+        return analysis
+
+    # ------------------------------------------------------------------ #
+    # Failure schedule
+    # ------------------------------------------------------------------ #
+    def schedule_failure(self, node_id: str, at: float) -> None:
+        """Kill ``node_id`` at virtual time ``at``."""
+        self.engine.schedule_at(at, lambda: self._fail_node(node_id))
+
+    def _fail_node(self, node_id: str) -> None:
+        node = self.nodes.get(node_id)
+        if node is None or not node.alive:
+            return
+        if len(self.ring) <= 1:
+            raise InvalidArgumentError(
+                "cannot fail the last live node of the virtual cluster"
+            )
+        if not self.table.link_failed(node_id):
+            return  # already dead by the table's rules
+        node.alive = False
+        # Ring membership follows table liveness, exactly like the TCP
+        # node's _sync_ring.
+        for member in self.ring.nodes():
+            if member not in self.table.alive_ids():
+                self.ring.remove_node(member)
+        self.failovers += 1
+        moved = [
+            name for name, where in self._located.items() if where == node_id
+        ]
+        stranded: list[tuple[str, str, str]] = []
+        for name in moved:
+            shard = node.coordinator.shard(name)
+            with shard.lock:
+                captured = [
+                    (client_id, name, shard.context.filename_of(key))
+                    for key, waiting in shard.waiters.items()
+                    for client_id in waiting
+                ]
+                shard.waiters.clear()
+            node.coordinator.unregister_context(name)
+            stranded.extend(captured)
+            new_owner = self.ring.owner(name)
+            self._register_on(name, new_owner)
+            # Re-register surviving attachments with the new owner.
+            for client_id, contexts in self._attachments.items():
+                if name in contexts:
+                    self.nodes[new_owner].coordinator.client_connect(
+                        client_id, name
+                    )
+        # Opens that were blocked on the dead node resume once the
+        # failure is detected.
+        if stranded:
+            self.engine.schedule(
+                self.detect_delay, lambda: self._replay(stranded)
+            )
+
+    def _replay(self, stranded: list[tuple[str, str, str]]) -> None:
+        now = self.engine.now()
+        for client_id, context_name, filename in stranded:
+            owner = self.ring.owner(context_name)
+            if owner is None:
+                continue
+            self.replayed_waits += 1
+            result = self.nodes[owner].coordinator.handle_open(
+                client_id, context_name, filename, now
+            )
+            if result.available:
+                # The new owner already has it: resolve the wait directly.
+                self._route(
+                    Notification(client_id, context_name, filename, ok=True)
+                )
+
+    # ------------------------------------------------------------------ #
+    def run(self, until: float | None = None) -> float:
+        return self.engine.run(until=until)
+
+    @property
+    def fwd_ratio(self) -> float:
+        """Fraction of client ops that crossed a gateway hop."""
+        return self.forwarded_ops / self.total_ops if self.total_ops else 0.0
+
+    def stats(self) -> dict:
+        """Cluster-level summary plus every node's metrics snapshot."""
+        return {
+            "nodes": {
+                node_id: {
+                    "alive": node.alive,
+                    "contexts": sorted(
+                        name for name, where in self._located.items()
+                        if where == node_id
+                    ),
+                }
+                for node_id, node in self.nodes.items()
+            },
+            "epoch": self.ring.epoch,
+            "failovers": self.failovers,
+            "replayed_waits": self.replayed_waits,
+            "forwarded_ops": self.forwarded_ops,
+            "total_ops": self.total_ops,
+        }
 
     def _route(self, notification: Notification) -> None:
         analysis = self._analyses.get(notification.client_id)

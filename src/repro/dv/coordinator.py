@@ -82,6 +82,42 @@ class DVCoordinator:
             self._shards[context.name] = shard
             return shard
 
+    def unregister_context(self, context_name: str, now: float = 0.0) -> None:
+        """Remove a context shard from the registry.
+
+        Outstanding waiters are failed (``ok=False`` notifications) so no
+        client hangs on a context that no longer exists here, and every
+        running or queued re-simulation is killed through the executor.
+        The metrics the shard accumulated stay in the registry — a
+        re-registration under the same name resumes the same counters.
+        """
+        with self._registry_lock:
+            try:
+                shard = self._shards.pop(context_name)
+            except KeyError:
+                raise ContextError(
+                    f"unknown context {context_name!r}"
+                ) from None
+        with shard.lock:
+            notifications = [
+                Notification(client_id, context_name,
+                             shard.context.filename_of(key), ok=False)
+                for key, waiting in shard.waiters.items()
+                for client_id in waiting
+            ]
+            shard.waiters.clear()
+            for sim in list(shard.sims.values()):
+                self._executor.kill(sim.sim_id)
+            shard.sims.clear()
+            shard.in_flight.clear()
+            shard.pending_jobs = type(shard.pending_jobs)()
+        for notification in notifications:
+            self._dispatch_notification(notification)
+
+    def has_context(self, context_name: str) -> bool:
+        """Cheap ownership probe (the cluster gateway's routing test)."""
+        return context_name in self._shards
+
     def context_names(self) -> list[str]:
         with self._registry_lock:
             return sorted(self._shards)

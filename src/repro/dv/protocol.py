@@ -46,6 +46,28 @@ Client -> DV requests (each carries a ``req`` sequence number):
 
 DV -> client messages: ``reply`` (matched to ``req``) and unsolicited
 ``ready`` notifications for files the client waits on.
+
+Peer-to-peer (cluster tier, :mod:`repro.cluster`) — DV daemons exchange
+three additional ops over the very same wire (any codec; they travel as
+JSON payloads inside the binary framing):
+
+=============  ===========================================================
+``fwd``        gateway forwarding: ``{"op": "fwd", "req": n, "origin":
+               node_id, "client": client_id, "inner": {...}}`` asks the
+               receiving daemon to execute ``inner`` on behalf of
+               ``client`` connected at ``origin``.  Sent ingress -> owner
+               for client ops; sent owner -> ingress (without ``req``)
+               to route a ``ready`` notification back to the client's
+               ingress node.
+``fwd_reply``  the owner's answer to a ``fwd``: ``{"op": "fwd_reply",
+               "req": n, "error": 0, "payload": {...}}`` where
+               ``payload`` is exactly the reply body ``inner`` would
+               have produced had the client been connected directly.
+``gossip``     membership heartbeat: carries the sender's peer-table
+               view (node ids, addresses, generations, aliveness, ring
+               epoch); the receiver merges it and replies with its own
+               view under ``view``.
+=============  ===========================================================
 """
 
 from __future__ import annotations
@@ -62,6 +84,11 @@ __all__ = [
     "CODEC_LEGACY",
     "CODEC_BINARY",
     "SUPPORTED_CODECS",
+    "OP_FWD",
+    "OP_FWD_REPLY",
+    "OP_GOSSIP",
+    "make_fwd",
+    "unwrap_fwd",
     "encode_message",
     "decode_message",
     "encode_binary",
@@ -82,6 +109,41 @@ CODEC_BINARY = "binary"
 SUPPORTED_CODECS = (CODEC_LEGACY, CODEC_BINARY)
 
 _MAX_MESSAGE = 1 << 20  # 1 MiB per frame is far beyond any legal message
+
+#: Cluster-tier op names (peer-to-peer traffic; see module docstring).
+OP_FWD = "fwd"
+OP_FWD_REPLY = "fwd_reply"
+OP_GOSSIP = "gossip"
+
+
+def make_fwd(origin: str, client_id: str, inner: dict[str, Any],
+             req: Any = None) -> dict[str, Any]:
+    """Wrap ``inner`` for peer-to-peer forwarding on behalf of a client.
+
+    With ``req`` the frame is a request expecting a ``fwd_reply``;
+    without it, it is a one-way routed notification (owner -> ingress
+    ``ready`` delivery).
+    """
+    message: dict[str, Any] = {
+        "op": OP_FWD, "origin": origin, "client": client_id, "inner": inner,
+    }
+    if req is not None:
+        message["req"] = req
+    return message
+
+
+def unwrap_fwd(message: dict[str, Any]) -> tuple[str, str, dict[str, Any]]:
+    """Validate and split a ``fwd`` frame into (origin, client, inner)."""
+    origin = message.get("origin")
+    client_id = message.get("client")
+    inner = message.get("inner")
+    if not isinstance(origin, str) or not isinstance(client_id, str):
+        raise ProtocolError("fwd frame needs string 'origin' and 'client'")
+    if not isinstance(inner, dict) or "op" not in inner:
+        raise ProtocolError("fwd frame needs an 'inner' message with 'op'")
+    if inner["op"] in (OP_FWD, "hello", "batch"):
+        raise ProtocolError(f"op {inner['op']!r} cannot be forwarded")
+    return origin, client_id, inner
 
 # --------------------------------------------------------------------- #
 # Legacy codec: newline-delimited JSON

@@ -44,6 +44,7 @@ import queue
 import selectors
 import socket
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.core.context import SimulationContext
@@ -86,24 +87,22 @@ _OUTBUF_HIGH = 1 << 22
 #: the PFS) when a context is capacity-bounded.
 _EVICTING_OPS = frozenset({"release", "wclose", "finalize"})
 
+#: Context-addressed client ops a cluster gateway may forward to the
+#: owning peer when the named context is not registered locally.
+_ROUTABLE_OPS = frozenset(
+    {"open", "acquire", "release", "wclose", "bitrep", "attach", "finalize"}
+)
 
-def _needs_worker(message: dict, evicting_inline_unsafe: bool) -> bool:
-    """True for ops that may block on file I/O and therefore must not run
-    on the event loop: ``bitrep`` checksums a whole output step, and —
-    when any registered context has a bounded storage area — ``release``/
-    ``wclose`` may evict and delete files on the PFS."""
-    op = message.get("op")
-    if op == "bitrep" or (evicting_inline_unsafe and op in _EVICTING_OPS):
-        return True
-    if op == "batch":
-        sub_ops = message.get("ops")
-        if isinstance(sub_ops, list):
-            return any(
-                isinstance(sub, dict)
-                and _needs_worker(sub, evicting_inline_unsafe)
-                for sub in sub_ops
-            )
-    return False
+
+@dataclass(frozen=True)
+class _ExtraOp:
+    """A service-level op registered by an embedding layer (the cluster
+    node adds ``fwd``/``gossip`` this way).  A handler returning ``None``
+    sends no reply (one-way frames such as routed ``ready`` deliveries)."""
+
+    handler: "collections.abc.Callable"
+    reply_op: str = "reply"
+    needs_worker: bool = False
 
 
 @dataclass
@@ -183,6 +182,19 @@ class DVServer:
         # wclose/finalize ops may evict-and-unlink on the PFS and must
         # not run on the event loop (see _needs_worker).
         self._evicting_inline_unsafe = False
+        # Cluster-tier hooks, all optional (see repro.cluster.node):
+        #   _extra_ops    — service ops beyond the classic table (fwd/gossip)
+        #   _route_op     — gateway: handle an op for a non-local context,
+        #                   returning the reply payload (runs on a worker)
+        #   _ready_router — deliver a notification whose client_id is not a
+        #                   local connection (a proxied cluster client)
+        #   _hello_extra  — extra fields merged into every hello reply
+        #   _drop_hook    — observe client disconnects (proxy cleanup)
+        self._extra_ops: dict[str, _ExtraOp] = {}
+        self._route_op = None
+        self._ready_router = None
+        self._hello_extra = None
+        self._drop_hook = None
         # One-slot memo so a notification fanned out to many waiters is
         # encoded once per codec, not once per waiter.
         self._ready_memo: tuple[tuple[str, str, bool], dict[str, bytes]] | None = None
@@ -246,6 +258,37 @@ class DVServer:
     def storage_path(self, context_name: str, filename: str) -> str:
         return os.path.join(self.launcher.output_dir(context_name), filename)
 
+    def register_op(
+        self,
+        name: str,
+        handler,
+        reply_op: str = "reply",
+        needs_worker: bool = False,
+    ) -> None:
+        """Add a service-level op to the dispatch table.
+
+        ``handler(conn, message) -> payload`` follows the built-in handler
+        contract; the reply frame is sent as ``reply_op``.  Ops that may
+        block (peer round trips, file I/O) must pass ``needs_worker=True``
+        so the selector front end never runs them on the event loop.
+        """
+        if name in self._handlers or name in self._extra_ops or name == "hello":
+            raise InvalidArgumentError(f"op {name!r} is already defined")
+        self._extra_ops[name] = _ExtraOp(handler, reply_op, needs_worker)
+
+    def set_cluster_hooks(
+        self,
+        route_op=None,
+        ready_router=None,
+        hello_extra=None,
+        drop_hook=None,
+    ) -> None:
+        """Install the gateway/membership callbacks (cluster tier)."""
+        self._route_op = route_op
+        self._ready_router = ready_router
+        self._hello_extra = hello_extra
+        self._drop_hook = drop_hook
+
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
@@ -282,14 +325,26 @@ class DVServer:
         )
         self._io_thread.start()
 
-    def stop(self) -> None:
-        """Stop accepting and close every client connection."""
-        self._running = False
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        """Stop accepting, drain in-flight work, and close every client.
+
+        Graceful teardown: new connections stop first, then (selector
+        mode) running re-simulations report their last files, the worker
+        pool finishes the queued messages, and every per-connection
+        coalescing writer is flushed — a ``ready`` notification or reply
+        already produced (or about to be, by an in-flight simulation) is
+        delivered instead of dropped with the socket.  ``drain_timeout``
+        bounds the whole wait; pass ``0`` for an abrupt teardown (what a
+        crash looks like to clients and cluster peers).
+        """
         if self._listener is not None:
             try:
                 self._listener.close()
             except OSError:
                 pass
+        if self.mode == "selector" and drain_timeout > 0 and self._running:
+            self._drain_for_stop(drain_timeout)
+        self._running = False
         if self.mode == "selector":
             self._wake()
             if self._io_thread is not None:
@@ -304,6 +359,36 @@ class DVServer:
             self._clients.clear()
         for conn in conns:
             self._shutdown_socket(conn.sock)
+
+    def _drain_for_stop(self, timeout: float) -> None:
+        """Best-effort quiesce before teardown: wait until running
+        re-simulations have reported (their ready notifications are what
+        clients block on), the worker pool has drained every inbox, and
+        the I/O thread has flushed every output buffer (the I/O machinery
+        keeps running throughout)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._clients_lock:
+                conns = list(self._clients.values())
+            pending = (
+                not self._work_queue.empty()
+                or self.launcher.running_threads > 0
+            )
+            for conn in conns:
+                with conn.send_lock:
+                    if conn.closing:
+                        continue
+                    if conn.busy or conn.inbox:
+                        pending = True
+                    elif conn.outbuf:
+                        pending = True
+                        if not conn.flush_requested:
+                            conn.flush_requested = True
+                            self._flush_pending.append(conn)
+            if not pending:
+                return
+            self._wake()
+            time.sleep(0.005)
 
     def __enter__(self) -> "DVServer":
         self.start()
@@ -462,6 +547,41 @@ class DVServer:
             conn.paused = len(conn.outbuf) >= _OUTBUF_HIGH
         self._update_interest(conn)
 
+    def _needs_worker(self, message: dict) -> bool:
+        """True for ops that may block and therefore must not run on the
+        event loop: ``bitrep`` checksums a whole output step off the PFS;
+        when any registered context has a bounded storage area, ``release``/
+        ``wclose``/``finalize`` may evict and delete files on the PFS;
+        registered service ops (``fwd``/``gossip``) declare themselves; and
+        any op the cluster gateway must forward to a peer blocks on that
+        round trip."""
+        op = message.get("op")
+        if op == "bitrep" or (self._evicting_inline_unsafe and op in _EVICTING_OPS):
+            return True
+        extra = self._extra_ops.get(op)
+        if extra is not None:
+            return extra.needs_worker
+        if op == "hello" and self._hello_extra is not None:
+            # The hello-extra hook may contend on the cluster lock, which
+            # activation can hold across PFS scans — keep it off the loop.
+            return True
+        if self._route_op is not None:
+            context = message.get("context")
+            if (
+                isinstance(context, str)
+                and (op in _ROUTABLE_OPS or op == "hello")
+                and not self.coordinator.has_context(context)
+            ):
+                return True
+        if op == "batch":
+            sub_ops = message.get("ops")
+            if isinstance(sub_ops, list):
+                return any(
+                    isinstance(sub, dict) and self._needs_worker(sub)
+                    for sub in sub_ops
+                )
+        return False
+
     def _run_inline(self, conn: _ClientConn, messages: list[dict]) -> None:
         """Hot path: execute a quiescent connection's batch on the event
         loop itself — in-memory ops (open/acquire/release/...) never pay
@@ -474,7 +594,7 @@ class DVServer:
         tl.frames = 0
         try:
             for idx, message in enumerate(messages):
-                if _needs_worker(message, self._evicting_inline_unsafe):
+                if self._needs_worker(message):
                     # Flush before handing over so replies leave in the
                     # order their requests arrived.
                     self._flush_collector()
@@ -752,18 +872,33 @@ class DVServer:
         error = int(ErrorCode.SUCCESS)
         detail = ""
         if context_name:
-            try:
-                self.coordinator.client_connect(client_id, context_name)
-                conn.contexts.add(context_name)
-            except SimFSError as exc:
-                error, detail = int(exc.code), str(exc)
+            if (
+                self._route_op is not None
+                and not self.coordinator.has_context(context_name)
+            ):
+                # Gateway path: the context lives on a peer — forward the
+                # attach so the owner registers this client as a waiter.
+                payload = self._run_op(
+                    conn, self._route_op, {"op": "attach", "context": context_name}
+                )
+                error = int(payload.get("error", ErrorCode.SUCCESS))
+                detail = payload.get("detail", "")
+            else:
+                try:
+                    self.coordinator.client_connect(client_id, context_name)
+                    conn.contexts.add(context_name)
+                except SimFSError as exc:
+                    error, detail = int(exc.code), str(exc)
         # The hello reply itself always travels in the legacy codec; both
         # sides switch to the negotiated codec for every frame after it.
-        self._send(conn, {
+        reply = {
             "op": "reply", "req": message.get("req"),
             "error": error, "detail": detail,
             "vers": PROTOCOL_VERSION, "codec": codec,
-        })
+        }
+        if self._hello_extra is not None:
+            reply.update(self._hello_extra())
+        self._send(conn, reply)
         conn.codec = codec
         conn.decoder.set_codec(codec)
 
@@ -773,6 +908,32 @@ class DVServer:
     def _dispatch(self, conn: _ClientConn, message: dict) -> None:
         op = message.get("op")
         req = message.get("req")
+        extra = self._extra_ops.get(op)
+        if extra is not None:
+            # Service-level op from an embedding layer (fwd/gossip).
+            try:
+                payload = extra.handler(conn, message)
+            except SimFSError as exc:
+                payload = {"error": int(exc.code), "detail": str(exc)}
+            if payload is None:
+                return  # one-way frame, no reply
+            payload.setdefault("error", int(ErrorCode.SUCCESS))
+            payload.update({"op": extra.reply_op, "req": req})
+            self._send(conn, payload)
+            return
+        if (
+            self._route_op is not None
+            and op in _ROUTABLE_OPS
+            and isinstance(message.get("context"), str)
+            and not self.coordinator.has_context(message["context"])
+        ):
+            # Gateway path: this daemon does not own the context — the
+            # route hook forwards to the owning peer and hands back the
+            # reply payload the owner produced.
+            payload = self._run_op(conn, self._route_op, message)
+            payload.update({"op": "reply", "req": req})
+            self._send(conn, payload)
+            return
         if op == "open" and "context" in message and "file" in message:
             # Hottest op of the transparent path: reply packed straight
             # from the handler result, no intermediate dict — and no
@@ -911,7 +1072,17 @@ class DVServer:
                     "detail": f"unknown or non-batchable sub-op {sub_op!r}",
                 })
                 continue
-            payload = self._run_op(conn, handler, sub)
+            if (
+                self._route_op is not None
+                and sub_op in _ROUTABLE_OPS
+                and isinstance(sub.get("context"), str)
+                and not self.coordinator.has_context(sub["context"])
+            ):
+                # Gateway path applies per sub-op: a pipelined batch from
+                # a ring-unaware client still reaches the context owner.
+                payload = self._run_op(conn, self._route_op, sub)
+            else:
+                payload = self._run_op(conn, handler, sub)
             payload["op"] = sub_op
             results.append(payload)
         return {"results": results}
@@ -940,11 +1111,18 @@ class DVServer:
                 )
             except SimFSError:
                 pass
+        if self._drop_hook is not None and conn.client_id is not None:
+            self._drop_hook(conn.client_id)
 
     def _push_ready(self, notification: Notification) -> None:
         with self._clients_lock:
             conn = self._clients.get(notification.client_id)
         if conn is None:
+            # Not a local connection: a cluster owner delivering to a
+            # client that entered through a peer gateway hands the
+            # notification to the routing hook instead of dropping it.
+            if self._ready_router is not None:
+                self._ready_router(notification)
             return
         data = self._encode_ready(notification, conn.codec)
         try:
@@ -1046,6 +1224,19 @@ def main(argv: list[str] | None = None) -> int:
             "delta_d": 5, "delta_r": 60, "num_timesteps": 5760,
             "output_dir": "...", "restart_dir": "...",
             "max_storage_bytes": 100000000, "policy": "dcl", "smax": 8}]}
+
+    Multi-daemon quickstart — run the same config (same context catalog,
+    dirs on the shared PFS) on every node and name the peers::
+
+        simfs-dv --config dv.json --node-id n1 \\
+                 --peers n2@hostB:7878,n3@hostC:7878
+
+    ``node_id``/``peers`` (plus ``vnodes``, ``heartbeat_interval``,
+    ``suspect_after``, ``generation``) may also live in the config file.
+    Each node activates only the contexts the consistent-hash ring
+    assigns to it and forwards ops for the rest to their owners; clients
+    may connect to any node.  Inspect the ring with
+    ``simfs-ctl cluster-status --host ... --port ...``.
     """
     from repro.core.context import ContextConfig
     from repro.core.perfmodel import PerformanceModel
@@ -1061,6 +1252,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="daemon host for --stats (default 127.0.0.1)")
     parser.add_argument("--port", type=int, default=7878,
                         help="daemon port for --stats (default 7878)")
+    parser.add_argument(
+        "--node-id",
+        help="run as a cluster node with this id (see also --peers)",
+    )
+    parser.add_argument(
+        "--peers",
+        help="comma-separated peer daemons as [id@]host:port; implies "
+             "cluster mode (the config file may also set node_id/peers)",
+    )
     args = parser.parse_args(argv)
 
     if args.stats:
@@ -1074,11 +1274,35 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.config, encoding="utf-8") as fh:
         config = json.load(fh)
 
-    server = DVServer(
-        config.get("host", "127.0.0.1"),
-        config.get("port", 7878),
-        mode=config.get("mode", "selector"),
-    )
+    node_id = args.node_id or config.get("node_id")
+    peer_arg = args.peers or config.get("peers")
+    peers: list[str] = []
+    if isinstance(peer_arg, str):
+        peers = [p.strip() for p in peer_arg.split(",") if p.strip()]
+    elif isinstance(peer_arg, list):
+        peers = [str(p) for p in peer_arg]
+    node = None
+    if node_id or peers:
+        from repro.cluster import ClusterNode
+
+        node = ClusterNode(
+            node_id or f"dv-{config.get('port', 7878)}",
+            config.get("host", "127.0.0.1"),
+            config.get("port", 7878),
+            peers=peers,
+            vnodes=int(config.get("vnodes", 16)),
+            generation=int(config.get("generation", 1)),
+            heartbeat_interval=float(config.get("heartbeat_interval", 0.5)),
+            suspect_after=int(config.get("suspect_after", 3)),
+            mode=config.get("mode", "selector"),
+        )
+        server = node.server
+    else:
+        server = DVServer(
+            config.get("host", "127.0.0.1"),
+            config.get("port", 7878),
+            mode=config.get("mode", "selector"),
+        )
     drivers = {"cosmo": CosmoDriver, "flash": FlashDriver, "synthetic": SyntheticDriver}
     for spec in config.get("contexts", []):
         cc = ContextConfig(
@@ -1096,12 +1320,19 @@ def main(argv: list[str] | None = None) -> int:
             tau_sim=spec.get("tau_sim", 1.0), alpha_sim=spec.get("alpha_sim", 0.0)
         )
         context = SimulationContext(config=cc, driver=driver, perf=perf)
-        server.add_context(context, spec["output_dir"], spec["restart_dir"])
-    server.start()
+        if node is not None:
+            node.add_context(context, spec["output_dir"], spec["restart_dir"])
+        else:
+            server.add_context(context, spec["output_dir"], spec["restart_dir"])
+    service = node if node is not None else server
+    service.start()
     host, port = server.address
-    print(f"simfs-dv listening on {host}:{port}")
+    if node is not None:
+        print(f"simfs-dv cluster node {node.node_id} listening on {host}:{port}")
+    else:
+        print(f"simfs-dv listening on {host}:{port}")
     try:
         threading.Event().wait()
     except KeyboardInterrupt:
-        server.stop()
+        service.stop()
     return 0

@@ -203,8 +203,16 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._metrics)
 
-    def snapshot(self) -> dict[str, dict]:
-        """JSON-serializable view of every instrument (the ``stats`` op)."""
+    def snapshot(self, prefix: str = "") -> dict[str, dict]:
+        """JSON-serializable view of every instrument (the ``stats`` op).
+
+        ``prefix`` restricts the view to one subsystem's series (e.g.
+        ``"cluster."`` for the cluster plane's forwarding/gossip counters).
+        """
         with self._lock:
             metrics = dict(self._metrics)
-        return {name: metric.snapshot() for name, metric in sorted(metrics.items())}
+        return {
+            name: metric.snapshot()
+            for name, metric in sorted(metrics.items())
+            if name.startswith(prefix)
+        }

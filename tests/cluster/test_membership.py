@@ -1,0 +1,95 @@
+"""Unit tests for the gossip peer table (pure state machine)."""
+
+from repro.cluster.membership import PeerTable
+
+
+def make_table(suspect_after=3):
+    table = PeerTable("n1", "hostA", 1001, suspect_after=suspect_after)
+    table.upsert("n2", "hostB", 1002)
+    table.upsert("n3", "hostC", 1003)
+    return table
+
+
+class TestMergeRules:
+    def test_unknown_node_is_added(self):
+        table = make_table()
+        changed = table.merge_view([
+            {"id": "n4", "host": "hostD", "port": 1004, "gen": 1, "alive": True}
+        ])
+        assert changed
+        assert table.get("n4").host == "hostD"
+
+    def test_higher_generation_wins(self):
+        table = make_table()
+        table.get("n2").alive = False
+        changed = table.merge_view([
+            {"id": "n2", "host": "hostB2", "port": 2002, "gen": 5, "alive": True}
+        ])
+        assert changed
+        peer = table.get("n2")
+        assert peer.alive and peer.generation == 5 and peer.port == 2002
+
+    def test_death_rumor_sticks_at_equal_generation(self):
+        table = make_table()
+        assert table.merge_view([{"id": "n2", "gen": 1, "alive": False}])
+        assert not table.get("n2").alive
+        # The alive rumor at the same generation does NOT resurrect.
+        assert not table.merge_view([{"id": "n2", "gen": 1, "alive": True}])
+        assert not table.get("n2").alive
+
+    def test_nobody_outranks_a_node_about_itself(self):
+        table = make_table()
+        assert not table.merge_view([{"id": "n1", "gen": 99, "alive": False}])
+        assert table.get("n1").alive
+
+    def test_stale_generation_is_ignored(self):
+        table = make_table()
+        table.get("n2").generation = 4
+        assert not table.merge_view([{"id": "n2", "gen": 2, "alive": False}])
+        assert table.get("n2").alive
+
+
+class TestLiveness:
+    def test_suspect_threshold(self):
+        table = make_table(suspect_after=3)
+        assert not table.heartbeat_missed("n2")
+        assert not table.heartbeat_missed("n2")
+        assert table.heartbeat_missed("n2")  # third strike
+        assert not table.get("n2").alive
+        # Further misses on a dead peer report nothing new.
+        assert not table.heartbeat_missed("n2")
+
+    def test_heartbeat_ok_resets_the_count(self):
+        table = make_table(suspect_after=2)
+        assert not table.heartbeat_missed("n2")
+        table.heartbeat_ok("n2", now=10.0)
+        assert not table.heartbeat_missed("n2")  # count restarted
+        assert table.get("n2").alive
+
+    def test_link_failed_kills_immediately(self):
+        table = make_table()
+        assert table.link_failed("n3")
+        assert not table.get("n3").alive
+        assert not table.link_failed("n3")  # already dead
+        assert not table.link_failed("n1")  # never self
+
+    def test_mark_alive_after_direct_contact(self):
+        table = make_table()
+        table.link_failed("n2")
+        assert table.mark_alive("n2", now=5.0)
+        peer = table.get("n2")
+        assert peer.alive and peer.missed == 0
+
+    def test_alive_ids_and_peers(self):
+        table = make_table()
+        table.link_failed("n3")
+        assert table.alive_ids() == ["n1", "n2"]
+        assert [p.node_id for p in table.alive_peers()] == ["n2"]
+
+    def test_view_round_trips_through_merge(self):
+        a = make_table()
+        a.link_failed("n3")
+        b = PeerTable("n9", "hostX", 9009)
+        assert b.merge_view(a.view())
+        assert b.alive_ids() == ["n1", "n2", "n9"]
+        assert not b.get("n3").alive

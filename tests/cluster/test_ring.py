@@ -1,0 +1,85 @@
+"""Unit tests for the consistent-hash ring."""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster.ring import HashRing
+from repro.core.errors import InvalidArgumentError
+
+NAMES = [f"context-{i}" for i in range(200)]
+
+
+def build(nodes=("n1", "n2", "n3"), vnodes=64):
+    ring = HashRing(vnodes)
+    for node in nodes:
+        ring.add_node(node)
+    return ring
+
+
+class TestOwnership:
+    def test_empty_ring_owns_nothing(self):
+        assert HashRing().owner("anything") is None
+
+    def test_single_node_owns_everything(self):
+        ring = build(nodes=("solo",))
+        assert all(ring.owner(name) == "solo" for name in NAMES)
+
+    def test_deterministic_across_instances(self):
+        # Two independently built rings (any insertion order) agree on
+        # every owner — the property clients and daemons rely on.
+        a = build(nodes=("n1", "n2", "n3"))
+        b = build(nodes=("n3", "n1", "n2"))
+        assert a.assignment(NAMES) == b.assignment(NAMES)
+
+    def test_virtual_nodes_spread_the_load(self):
+        ring = build(vnodes=64)
+        shares = Counter(ring.assignment(NAMES).values())
+        assert set(shares) == {"n1", "n2", "n3"}
+        # No node should own a wildly disproportionate share.
+        assert max(shares.values()) < 2.5 * (len(NAMES) / 3)
+
+    def test_removal_moves_only_the_dead_nodes_contexts(self):
+        ring = build()
+        before = ring.assignment(NAMES)
+        ring.remove_node("n2")
+        after = ring.assignment(NAMES)
+        moved = [name for name in NAMES if before[name] != after[name]]
+        assert moved, "n2 owned something"
+        assert all(before[name] == "n2" for name in moved)
+        assert all(after[name] != "n2" for name in NAMES)
+
+    def test_rejoin_restores_previous_assignment(self):
+        ring = build()
+        before = ring.assignment(NAMES)
+        ring.remove_node("n2")
+        ring.add_node("n2")
+        assert ring.assignment(NAMES) == before
+
+
+class TestMembershipBookkeeping:
+    def test_epoch_increments_on_every_change(self):
+        ring = HashRing()
+        assert ring.epoch == 0
+        ring.add_node("a")
+        ring.add_node("b")
+        assert ring.epoch == 2
+        ring.remove_node("a")
+        assert ring.epoch == 3
+
+    def test_duplicate_add_and_missing_remove_are_noops(self):
+        ring = build()
+        epoch = ring.epoch
+        assert not ring.add_node("n1")
+        assert not ring.remove_node("ghost")
+        assert ring.epoch == epoch
+
+    def test_contains_len_nodes(self):
+        ring = build()
+        assert "n1" in ring and "ghost" not in ring
+        assert len(ring) == 3
+        assert ring.nodes() == ["n1", "n2", "n3"]
+
+    def test_vnodes_must_be_positive(self):
+        with pytest.raises(InvalidArgumentError):
+            HashRing(vnodes=0)

@@ -1,0 +1,201 @@
+"""DES cluster scenario suite: the cluster tier on the virtual clock.
+
+Sweeps the knobs the live tier cannot explore cheaply — node counts,
+failure schedules, detection delay, skewed context popularity — through
+:class:`repro.des.components.VirtualCluster`, which drives the very same
+HashRing/PeerTable logic as the TCP nodes.
+"""
+
+import random
+
+import pytest
+
+from repro.core.context import ContextConfig, SimulationContext
+from repro.core.errors import InvalidArgumentError
+from repro.core.perfmodel import PerformanceModel
+from repro.des.components import VirtualCluster
+from repro.simulators import SyntheticDriver
+
+
+def build_context(name, num_timesteps=64, tau_sim=5.0, alpha_sim=30.0):
+    config = ContextConfig(
+        name=name, delta_d=2, delta_r=8, num_timesteps=num_timesteps
+    )
+    driver = SyntheticDriver(config.geometry, prefix=name)
+    return SimulationContext(
+        config=config, driver=driver,
+        perf=PerformanceModel(tau_sim=tau_sim, alpha_sim=alpha_sim),
+    )
+
+
+def run_workload(cluster, contexts, accesses=12, tau_cli=1.0, ingress_plan=None):
+    """One forward analysis per context; returns the analyses."""
+    analyses = []
+    for idx, context in enumerate(contexts):
+        ingress = None
+        if ingress_plan is not None:
+            ingress = ingress_plan[idx % len(ingress_plan)]
+        analyses.append(cluster.add_analysis(
+            context, keys=list(range(1, accesses + 1)),
+            tau_cli=tau_cli, ingress=ingress,
+        ))
+    cluster.run()
+    return analyses
+
+
+class TestPlacementAndSweep:
+    def test_contexts_spread_across_nodes(self):
+        cluster = VirtualCluster(node_ids=[f"n{i}" for i in range(4)])
+        contexts = [build_context(f"ctx{i}") for i in range(16)]
+        for context in contexts:
+            cluster.add_context(context)
+        stats = cluster.stats()
+        populated = [
+            node for node, info in stats["nodes"].items() if info["contexts"]
+        ]
+        assert len(populated) >= 3  # 16 contexts over 4 nodes spread out
+
+    @pytest.mark.parametrize("num_nodes", [1, 2, 4])
+    def test_node_sweep_same_results_any_cluster_size(self, num_nodes):
+        """Shard semantics are location-transparent: the same workload
+        completes with identical hit/miss behaviour whatever the node
+        count — capacity, not correctness, is what clustering changes."""
+        cluster = VirtualCluster(node_ids=[f"n{i}" for i in range(num_nodes)])
+        contexts = [build_context(f"ctx{i}") for i in range(4)]
+        for context in contexts:
+            cluster.add_context(context)
+        analyses = run_workload(cluster, contexts)
+        assert all(a.done for a in analyses)
+        # Identical workloads on identical (cold) shards behave the same
+        # wherever their context lands.
+        assert len({a.miss_count for a in analyses}) == 1
+        assert len({round(a.running_time, 6) for a in analyses}) == 1
+
+    def test_forwarding_hop_cost_is_visible(self):
+        """An analysis entering at a non-owner pays 2*hop_latency per
+        access; one entering at the owner does not."""
+        hop = 0.25
+        cluster = VirtualCluster(node_ids=("a", "b"), hop_latency=hop)
+        # Near-instant restarts: client time dominates, so the hop cost
+        # is not hidden by waiting on simulations.
+        context = build_context("ctx-hop", tau_sim=0.001, alpha_sim=0.0)
+        cluster.add_context(context)
+        owner = cluster.owner_of("ctx-hop")
+        other = "a" if owner == "b" else "b"
+        direct = cluster.add_analysis(
+            context, keys=list(range(1, 13)), tau_cli=1.0, ingress=owner,
+            client_id="direct",
+        )
+        forwarded = cluster.add_analysis(
+            context, keys=list(range(1, 13)), tau_cli=1.0, ingress=other,
+            client_id="forwarded",
+        )
+        cluster.run()
+        assert forwarded.running_time > direct.running_time
+        extra = forwarded.running_time - direct.running_time
+        assert extra == pytest.approx(2 * hop * 12, rel=0.35)
+        assert 0.0 < cluster.fwd_ratio < 1.0
+
+
+class TestFailureSchedules:
+    def test_failure_reassigns_contexts_and_replays_waiters(self):
+        cluster = VirtualCluster(
+            node_ids=("a", "b", "c"), detect_delay=2.0
+        )
+        contexts = [build_context(f"ctx{i}") for i in range(6)]
+        for context in contexts:
+            cluster.add_context(context)
+        victim = cluster.owner_of(contexts[0].name)
+        analyses = []
+        for context in contexts:
+            analyses.append(cluster.add_analysis(
+                context, keys=list(range(1, 17)), tau_cli=1.0,
+            ))
+        cluster.schedule_failure(victim, at=40.0)
+        cluster.run()
+        stats = cluster.stats()
+        assert all(a.done for a in analyses)  # nobody hung
+        assert not stats["nodes"][victim]["alive"]
+        assert stats["nodes"][victim]["contexts"] == []
+        assert stats["failovers"] == 1
+        assert stats["replayed_waits"] > 0
+
+    def test_detection_delay_costs_wait_time(self):
+        """The same failure hurts more the longer it takes to detect —
+        the knob the live tier's heartbeat interval controls."""
+        def completion(detect_delay):
+            cluster = VirtualCluster(
+                node_ids=("a", "b", "c"), detect_delay=detect_delay
+            )
+            context = build_context("ctx-dd")
+            cluster.add_context(context)
+            victim = cluster.owner_of("ctx-dd")
+            analysis = cluster.add_analysis(
+                context, keys=list(range(1, 17)), tau_cli=1.0,
+                client_id="dd-client",
+            )
+            cluster.schedule_failure(victim, at=20.0)
+            cluster.run()
+            assert analysis.done
+            return analysis.running_time
+
+        fast, slow = completion(0.5), completion(30.0)
+        assert slow > fast
+        assert slow - fast == pytest.approx(29.5, rel=0.2)
+
+    def test_cascading_failures_until_one_node_survives(self):
+        cluster = VirtualCluster(node_ids=("a", "b", "c"), detect_delay=1.0)
+        contexts = [build_context(f"ctx{i}") for i in range(4)]
+        for context in contexts:
+            cluster.add_context(context)
+        analyses = [
+            cluster.add_analysis(c, keys=list(range(1, 11)), tau_cli=1.0)
+            for c in contexts
+        ]
+        order = [n for n in ("a", "b")]
+        cluster.schedule_failure(order[0], at=25.0)
+        cluster.schedule_failure(order[1], at=55.0)
+        cluster.run()
+        stats = cluster.stats()
+        assert all(a.done for a in analyses)
+        survivors = [n for n, i in stats["nodes"].items() if i["alive"]]
+        assert survivors == ["c"]
+        # Every context ends up on the survivor.
+        assert sorted(stats["nodes"]["c"]["contexts"]) == sorted(
+            c.name for c in contexts
+        )
+
+    def test_cannot_fail_the_last_node(self):
+        cluster = VirtualCluster(node_ids=("solo",))
+        cluster.add_context(build_context("ctx-last"))
+        cluster.schedule_failure("solo", at=1.0)
+        with pytest.raises(InvalidArgumentError):
+            cluster.run()
+
+
+class TestSkewedPopularity:
+    def test_zipf_skew_concentrates_forwarding_on_hot_owner(self):
+        """Zipf-popular contexts concentrate traffic on their owners;
+        gateway-style clients (random ingress) therefore forward most of
+        their ops — the quantitative case for the cluster-aware client."""
+        rng = random.Random(7)
+        cluster = VirtualCluster(
+            node_ids=("a", "b", "c", "d"), hop_latency=0.01
+        )
+        contexts = [build_context(f"ctx{i}") for i in range(8)]
+        for context in contexts:
+            cluster.add_context(context)
+        # Zipf-ish popularity: context i drawn with weight 1/(i+1).
+        weights = [1.0 / (i + 1) for i in range(len(contexts))]
+        node_ids = list(cluster.nodes)
+        for client in range(12):
+            context = rng.choices(contexts, weights=weights)[0]
+            ingress = rng.choice(node_ids)
+            cluster.add_analysis(
+                context, keys=list(range(1, 9)), tau_cli=1.0,
+                ingress=ingress, client_id=f"skew-{client}",
+            )
+        cluster.run()
+        assert cluster.total_ops > 0
+        # With 4 nodes and random ingress, ~3/4 of ops cross a hop.
+        assert 0.4 < cluster.fwd_ratio <= 1.0

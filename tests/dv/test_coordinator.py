@@ -327,3 +327,65 @@ class TestCounters:
         produce(dv, ctx, [1, 2, 3, 4], now=1.0)
         assert dv.total_restarts == 1
         assert dv.total_simulated_outputs == 4
+
+
+class TestContextLifecycle:
+    """Unregister / re-register semantics (the cluster tier's activate /
+    deactivate primitive)."""
+
+    def test_duplicate_register_raises(self):
+        dv, ctx, ex, _ = make_setup()
+        with pytest.raises(ContextError):
+            dv.register_context(ctx)
+
+    def test_unregister_unknown_raises(self):
+        dv, ctx, ex, _ = make_setup()
+        with pytest.raises(ContextError):
+            dv.unregister_context("ghost")
+
+    def test_unregister_removes_and_reregister_restores(self):
+        dv, ctx, ex, _ = make_setup()
+        assert dv.has_context("ctx")
+        dv.unregister_context("ctx")
+        assert not dv.has_context("ctx")
+        assert dv.context_names() == []
+        with pytest.raises(ContextError):
+            dv.handle_open("a1", "ctx", ctx.filename_of(2), now=0.0)
+        dv.register_context(ctx)
+        assert dv.has_context("ctx")
+        dv.client_connect("a1", "ctx")
+        result = dv.handle_open("a1", "ctx", ctx.filename_of(2), now=0.0)
+        assert result.state is FileState.SIMULATING
+
+    def test_unregister_fails_outstanding_waiters(self):
+        dv, ctx, ex, notifications = make_setup()
+        dv.handle_open("a1", "ctx", ctx.filename_of(6), now=0.0)
+        assert not notifications
+        dv.unregister_context("ctx")
+        assert [
+            (n.client_id, n.filename, n.ok) for n in notifications
+        ] == [("a1", ctx.filename_of(6), False)]
+
+    def test_unregister_kills_running_and_queued_sims(self):
+        dv, ctx, ex, _ = make_setup()
+        dv.handle_open("a1", "ctx", ctx.filename_of(6), now=0.0)
+        dv.handle_open("a1", "ctx", ctx.filename_of(20), now=0.0)
+        launched = [s.sim_id for s in ex.launched]
+        assert launched
+        dv.unregister_context("ctx")
+        assert set(ex.killed) >= set(launched)
+
+    def test_metrics_counters_survive_reregistration(self):
+        dv, ctx, ex, _ = make_setup()
+        dv.handle_open("a1", "ctx", ctx.filename_of(6), now=0.0)
+        opens = dv.metrics.get("dv.ctx.opens")
+        assert opens is not None and opens.value == 1
+        dv.unregister_context("ctx")
+        dv.register_context(ctx)
+        dv.client_connect("a1", "ctx")
+        dv.handle_open("a1", "ctx", ctx.filename_of(8), now=1.0)
+        # Same instrument, same series: the registry is get-or-create, so
+        # a re-registered context resumes its counters instead of
+        # resetting them.
+        assert dv.metrics.get("dv.ctx.opens") is opens
+        assert opens.value == 2

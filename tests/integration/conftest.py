@@ -1,6 +1,7 @@
 """Shared fixtures for full-stack integration tests."""
 
 import os
+import socket
 
 import pytest
 
@@ -8,6 +9,15 @@ from repro.core.context import ContextConfig, SimulationContext
 from repro.core.perfmodel import PerformanceModel
 from repro.dv.server import DVServer
 from repro.simulators import SyntheticDriver
+
+
+def free_port() -> int:
+    """An ephemeral TCP port for tests that must bind a known port."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
 
 
 def build_server(
