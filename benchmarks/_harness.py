@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import resource
 import socket
 import sys
 from collections.abc import Sequence
@@ -59,10 +60,26 @@ def emit(name: str, title: str, headers: Sequence[str], rows: Sequence[Sequence]
         fh.write(table)
 
 
-def emit_json(name: str, payload: dict[str, Any]) -> str:
+def process_cpu_seconds() -> float:
+    """Total CPU seconds consumed by this process *and its reaped
+    children* (user + system).  Deltas around a timed section give the
+    wall/CPU utilization ratio multi-process benchmarks report — a
+    ``workers``-way pool saturating every core shows a ratio near
+    ``workers``; 1.0 means single-core-bound.  Child processes count only
+    once reaped, so take the closing snapshot after the pool's stop()."""
+    own = resource.getrusage(resource.RUSAGE_SELF)
+    children = resource.getrusage(resource.RUSAGE_CHILDREN)
+    return (own.ru_utime + own.ru_stime
+            + children.ru_utime + children.ru_stime)
+
+
+def emit_json(name: str, payload: dict[str, Any],
+              env: dict[str, Any] | None = None) -> str:
     """Persist a benchmark's results as ``BENCH_<name>.json`` at the repo
     root; returns the path written.  The payload is wrapped with enough
-    environment detail to make cross-commit comparisons honest."""
+    environment detail to make cross-commit comparisons honest; ``env``
+    merges benchmark-specific facts into that wrapper (worker counts,
+    wall/CPU utilization, accelerator presence, ...)."""
     document = {
         "benchmark": name,
         "python": sys.version.split()[0],
@@ -70,6 +87,8 @@ def emit_json(name: str, payload: dict[str, Any]) -> str:
         "cpu_count": os.cpu_count(),
         "results": payload,
     }
+    if env:
+        document.update(env)
     path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(document, fh, indent=1, sort_keys=True)

@@ -137,7 +137,13 @@ def main(argv: list[str] | None = None) -> int:
                    default=4 * 24 * 60)
     p.set_defaults(func=_cmd_replay)
 
-    p = sub.add_parser("dv-stats", help="print a running DV daemon's stats")
+    p = sub.add_parser(
+        "dv-stats",
+        help="print a running DV daemon's stats (against a multi-core "
+             "daemon the metric series are pool-merged; each executor's "
+             "unmerged series also appear under an exec.<i>. prefix and "
+             "supervisor-local ones under sup.)",
+    )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7878)
     p.set_defaults(func=_cmd_dv_stats)

@@ -65,6 +65,7 @@ class PeerLink:
         on_down: Callable[[str], None] | None = None,
         connect_timeout: float = 5.0,
         codec: str = CODEC_BINARY,
+        path: str | None = None,
     ) -> None:
         self.self_id = self_id
         self.peer_id = peer_id
@@ -77,12 +78,20 @@ class PeerLink:
         self._closed = False
         self.codec = CODEC_LEGACY
         try:
-            self._sock = socket.create_connection(
-                (host, port), timeout=connect_timeout
-            )
+            if path is not None:
+                # Same-host peering (multi-core executors): a Unix-domain
+                # stream socket carries the identical wire protocol.
+                self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                self._sock.settimeout(connect_timeout)
+                self._sock.connect(path)
+            else:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=connect_timeout
+                )
         except OSError as exc:
+            where = path if path is not None else f"{host}:{port}"
             raise DVConnectionLost(
-                f"cannot reach peer {peer_id!r} at {host}:{port}: {exc}"
+                f"cannot reach peer {peer_id!r} at {where}: {exc}"
             ) from exc
         self._sock.settimeout(None)
         try:

@@ -46,7 +46,6 @@ from repro.cluster.membership import PeerTable
 from repro.cluster.ring import HashRing
 from repro.core.context import SimulationContext
 from repro.core.errors import (
-    ContextError,
     DETAIL_ALREADY_ATTACHED,
     DETAIL_NOT_ATTACHED,
     DVConnectionLost,
@@ -120,6 +119,7 @@ class ClusterNode:
         rpc_timeout: float = 10.0,
         mode: str = "selector",
         workers: int | None = None,
+        engine_workers: int | None = None,
     ) -> None:
         self.node_id = node_id
         self.heartbeat_interval = heartbeat_interval
@@ -128,6 +128,20 @@ class ClusterNode:
         # default: a forwarded op parks a worker on a peer round trip,
         # and gossip merges run there too.
         self.server = DVServer(host, port, mode=mode, workers=workers or 4)
+        #: Multi-core engine (``engine_workers > 1``): contexts this node
+        #: owns are served by a shared-nothing executor pool instead of
+        #: the node's own coordinator; the node stays the cluster-facing
+        #: ingress/gossip front and forwards owned-context ops inward.
+        self.engine = None
+        if engine_workers is not None and engine_workers > 1:
+            from repro.dv.multicore import MultiCoreServer
+
+            self.engine = MultiCoreServer(
+                workers=engine_workers,
+                accept="none",
+                rpc_timeout=rpc_timeout,
+                ready_router=self._engine_ready,
+            )
         self.metrics = self.server.metrics
         self.ring = HashRing(vnodes)
         self.table = PeerTable(
@@ -180,6 +194,13 @@ class ClusterNode:
         # describe() takes the cluster lock, which activation may hold
         # across a PFS directory scan — never run it on the event loop.
         self.server.register_op("cluster", self._op_cluster, needs_worker=True)
+        if self.engine is not None:
+            # The real shards live in the pool: a client's `stats` must
+            # show the merged executor view, not this node's empty
+            # coordinator.
+            self.server.register_op(
+                "stats", self._op_engine_stats, needs_worker=True, replace=True
+            )
         self.server.set_cluster_hooks(
             route_op=self._route_op,
             ready_router=self._ready_router,
@@ -210,6 +231,15 @@ class ClusterNode:
             self._specs[context.name] = ContextSpec(
                 context, output_dir, restart_dir, alpha_delay, tau_delay
             )
+            if self.engine is not None:
+                # The pool catalog ships to executors at spawn time, so
+                # every context must be declared before start() — inactive
+                # until ring ownership says otherwise.
+                self.engine.add_context(
+                    context, output_dir, restart_dir,
+                    alpha_delay=alpha_delay, tau_delay=tau_delay,
+                    active=False,
+                )
             if self.ring.owner(context.name) == self.node_id:
                 self._activate(context.name)
 
@@ -229,6 +259,11 @@ class ClusterNode:
         return self.server.address
 
     def start(self) -> None:
+        if self.engine is not None:
+            # Fork the executor fleet before this process grows threads
+            # (server loop, heartbeats): forking a multithreaded parent
+            # risks inheriting locks mid-flight.
+            self.engine.start()
         self.server.start()
         host, port = self.server.address
         with self._lock:
@@ -251,7 +286,11 @@ class ClusterNode:
             links, self._links = list(self._links.values()), {}
         for link in links:
             link.close()
+        # Client plane first (drains replies that may still need the
+        # engine), then the executor pool.
         self.server.stop(drain_timeout=drain_timeout)
+        if self.engine is not None:
+            self.engine.stop(drain_timeout=drain_timeout)
 
     def __enter__(self) -> "ClusterNode":
         self.start()
@@ -307,6 +346,10 @@ class ClusterNode:
         return reattaches, replays
 
     def _activate(self, name: str) -> None:
+        if self.engine is not None:
+            self.engine.activate(name)
+            self._active.add(name)
+            return
         spec = self._specs[name]
         self.server.add_context(
             spec.context, spec.output_dir, spec.restart_dir,
@@ -321,28 +364,10 @@ class ClusterNode:
         clients and captured waiters are returned for re-registration and
         replay against the new owner (waiters are cleared first, so the
         unregister does not fail them)."""
-        coordinator = self.server.coordinator
         self._active.discard(name)
-        try:
-            shard = coordinator.shard(name)
-        except ContextError:
-            return [], []
-        with shard.lock:
-            attached = list(shard.agents)
-            captured = [
-                (client_id, shard.context.filename_of(key))
-                for key, waiting in shard.waiters.items()
-                for client_id in waiting
-            ]
-            shard.waiters.clear()
-        try:
-            coordinator.unregister_context(name)
-        except ContextError:
-            pass
-        return (
-            [(client_id, name) for client_id in attached],
-            [(client_id, name, filename) for client_id, filename in captured],
-        )
+        if self.engine is not None:
+            return self.engine.deactivate(name)
+        return self.server.coordinator.release_context(name)
 
     # ------------------------------------------------------------------ #
     # Membership plane
@@ -628,6 +653,27 @@ class ClusterNode:
         """Run a client op against the local shards on behalf of a client
         that has no local connection object (replay, self-owned fallback)."""
         op = inner.get("op")
+        if self.engine is not None:
+            if op not in _ROUTABLE_OPS:
+                return {
+                    "error": int(ErrorCode.ERR_PROTOCOL),
+                    "detail": f"op {op!r} cannot be executed for a routed client",
+                }
+            payload = self.engine.forward(client_id, inner)
+            payload.setdefault("error", int(ErrorCode.SUCCESS))
+            # The engine's coordinators live in other processes, so the
+            # proxy's attachment set is maintained here rather than by the
+            # op handlers quacking at it.
+            proxy = self._proxies.get(client_id)
+            if proxy is not None and not payload.get("error"):
+                context = inner.get("context")
+                if op == "attach" and isinstance(context, str):
+                    proxy.contexts.add(context)
+                elif op == "finalize":
+                    proxy.contexts.discard(context)
+                    if not proxy.contexts:
+                        self._proxies.pop(client_id, None)
+            return payload
         handler = self.server._handlers.get(op)
         if handler is None or op not in _ROUTABLE_OPS:
             return {
@@ -649,6 +695,19 @@ class ClusterNode:
             # long-lived gateways do not accumulate dead proxies).
             self._proxies.pop(client_id, None)
         return payload
+
+    def _engine_ready(self, notification: Notification) -> None:
+        """Engine callback: a pool executor resolved a wait.  Deliver to
+        the real client — a local connection via the server's ready plane,
+        or back out the ingress peer link for a proxied cluster client
+        (``_push_ready`` falls through to ``_ready_router`` for those)."""
+        with self._lock:
+            self._pending.pop(
+                (notification.client_id, notification.context_name,
+                 notification.filename),
+                None,
+            )
+        self.server._push_ready(notification)
 
     def _ensure_attached(self, client_id: str, context_name: str) -> bool:
         """Register a client with the context's current owner, treating
@@ -801,6 +860,28 @@ class ClusterNode:
             "metrics": self.metrics.snapshot("cluster."),
         }
 
+    def _op_engine_stats(self, conn, message: dict) -> dict:
+        """Replacement ``stats`` op (engine mode): the pool's merged view
+        plus this node's own wire/cluster metric series."""
+        from repro.metrics import merge_snapshots
+
+        pool = self.engine.stats()
+        local = self.server._op_stats(conn, message)["stats"]
+        server_info = dict(pool["server"])
+        server_info["mode"] = "cluster+multiproc"
+        server_info["node"] = self.node_id
+        server_info["connected_clients"] = (
+            local.get("server", {}).get("connected_clients", 0)
+        )
+        return {"stats": {
+            "contexts": pool["contexts"],
+            "totals": pool["totals"],
+            "metrics": merge_snapshots(
+                [pool["metrics"], local.get("metrics", {})]
+            ),
+            "server": server_info,
+        }}
+
     def _hello_extra(self) -> dict:
         return {"cluster": self.describe()}
 
@@ -818,6 +899,10 @@ class ClusterNode:
                     name: self.ring.owner(name) for name in sorted(self._specs)
                 },
                 "active": sorted(self._active),
+                "engine": (
+                    {"mode": "multiproc", "workers": self.engine.workers}
+                    if self.engine is not None else None
+                ),
             }
 
     def _drop_hook(self, client_id: str) -> None:
@@ -831,6 +916,9 @@ class ClusterNode:
             ]
             for proxy in orphans:
                 self._proxies.pop(proxy.client_id, None)
+                if self.engine is not None:
+                    self.engine.finalize_client(proxy.client_id)
+                    continue
                 for context in list(proxy.contexts):
                     try:
                         self.server.coordinator.client_disconnect(
@@ -839,6 +927,11 @@ class ClusterNode:
                     except SimFSError:
                         pass
             return
+        if self.engine is not None:
+            # Pool-side attachments (owned contexts) are invisible to the
+            # node server's own disconnect cleanup — finalize them in the
+            # executors too.
+            self.engine.finalize_client(client_id)
         with self._lock:
             for key in [k for k in self._pending if k[0] == client_id]:
                 del self._pending[key]

@@ -114,6 +114,35 @@ class DVCoordinator:
         for notification in notifications:
             self._dispatch_notification(notification)
 
+    def release_context(
+        self, context_name: str
+    ) -> tuple[list[tuple[str, str]], list[tuple[str, str, str]]]:
+        """Handoff variant of :meth:`unregister_context`.
+
+        Instead of failing outstanding waiters, their identities are
+        captured (and the waiter table cleared, so the unregister does not
+        fail them) and returned to the caller for replay against the new
+        owner: ``(reattaches, replays)`` as ``[(client_id, context)]`` and
+        ``[(client_id, context, filename)]``.  A missing context returns
+        two empty lists — releases race with crashes and double-fire.
+        """
+        try:
+            shard = self.shard(context_name)
+        except ContextError:
+            return [], []
+        attached, captured = shard.capture_handoff()
+        try:
+            self.unregister_context(context_name)
+        except ContextError:
+            pass
+        return (
+            [(client_id, context_name) for client_id in attached],
+            [
+                (client_id, context_name, filename)
+                for client_id, filename in captured
+            ],
+        )
+
     def has_context(self, context_name: str) -> bool:
         """Cheap ownership probe (the cluster gateway's routing test)."""
         return context_name in self._shards

@@ -1,0 +1,14 @@
+"""Multi-core single-node DV engine (shared-nothing shard executors).
+
+One supervisor process spawns N shard-executor processes; each executor
+runs its own selector event loop (its own GIL) and owns the disjoint set
+of context shards a consistent-hash ring assigns to it.  Client
+connections land directly on the owning-or-not executor through an
+acceptor tier (SO_REUSEPORT where the kernel supports it, fd passing
+otherwise); ops for contexts owned elsewhere are forwarded over per-pair
+Unix-socket peer links speaking the binary wire codec.
+"""
+
+from repro.dv.multicore.supervisor import MultiCoreServer
+
+__all__ = ["MultiCoreServer"]

@@ -1,0 +1,283 @@
+"""Supervisor <-> executor control plane.
+
+Each executor process keeps exactly one :class:`ControlChannel` to the
+supervisor: a Unix socketpair created before the fork, carrying binary
+wire-codec frames (:mod:`repro.dv.protocol`) in both directions.  The
+channel is symmetric — either side issues requests (``req`` / a
+``ctl.reply`` frame echoing ``reply_to``) and one-way frames; incoming
+requests are dispatched on their own threads so a blocked handler (the
+supervisor fanning a ``ctl.stats`` query back out to every executor,
+including the one that asked) can never deadlock the channel.
+
+``ctl.conn`` frames may carry one file descriptor as SCM_RIGHTS
+ancillary data — the fd-passing acceptor tier ships accepted client
+sockets to executors this way.  Because ancillary data rides the byte
+stream, a receiving channel created with ``recv_fds=True`` always reads
+through :func:`socket.recv_fds` and matches received descriptors to
+decoded ``ctl.conn`` frames in FIFO order (only ``ctl.conn`` sends ever
+attach one).
+
+EOF or a socket error fires ``on_down`` exactly once and fails every
+outstanding call with :class:`~repro.core.errors.DVConnectionLost`; the
+supervisor treats that as the executor's death certificate (a ``kill
+-9`` closes the socketpair's far end immediately, long before a missed
+heartbeat would).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import queue
+import socket
+import threading
+from collections.abc import Callable
+
+from repro.core.errors import DVConnectionLost, SimFSError
+from repro.dv.protocol import CODEC_BINARY, StreamDecoder, encode_frame
+
+__all__ = [
+    "CTL_HELLO",
+    "CTL_RING",
+    "CTL_PING",
+    "CTL_STATS",
+    "CTL_STATS_ALL",
+    "CTL_DRAIN",
+    "CTL_STOP",
+    "CTL_CONN",
+    "CTL_DEACTIVATE",
+    "CTL_REPLY",
+    "ControlChannel",
+]
+
+#: Executor -> supervisor, one-way: ``{executor, pid, path}`` — sent once
+#: after the executor's listeners are up; unblocks the spawn barrier.
+CTL_HELLO = "ctl.hello"
+#: Supervisor -> executor, request: ``{epoch, executors: {id: path},
+#: active: [context, ...]}`` — the authoritative membership + activation
+#: view.  The executor reconciles before replying; stranded waiter
+#: replays run after the reply so serial broadcasts cannot deadlock.
+CTL_RING = "ctl.ring"
+#: Supervisor -> executor, request: liveness/hang probe.
+CTL_PING = "ctl.ping"
+#: Supervisor -> executor, request: one executor's stats snapshot.
+CTL_STATS = "ctl.stats"
+#: Executor -> supervisor, request: the merged all-executor stats payload
+#: (what a client's ``stats`` op should see).
+CTL_STATS_ALL = "ctl.stats_all"
+#: Supervisor -> executor, request: ``{timeout}`` — phase one of the
+#: graceful stop: close client listeners, drain in-flight work.
+CTL_DRAIN = "ctl.drain"
+#: Supervisor -> executor, request: phase two — tear down and exit.
+CTL_STOP = "ctl.stop"
+#: Supervisor -> executor, one-way with one SCM_RIGHTS fd: an accepted
+#: client socket to adopt (fd-passing acceptor mode).
+CTL_CONN = "ctl.conn"
+#: Supervisor -> executor, request (cluster engine mode): ``{context}`` —
+#: release a context shard, returning captured waiters for replay.
+CTL_DEACTIVATE = "ctl.deactivate"
+#: Reply frame for any request: echoes the request's ``req`` as
+#: ``reply_to``.
+CTL_REPLY = "ctl.reply"
+
+_RECV_SIZE = 65536
+_MAX_FDS_PER_RECV = 32
+
+
+class ControlChannel:
+    """One side of a supervisor<->executor control socketpair."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        handler: Callable[[dict, int | None], dict | None] | None = None,
+        name: str = "ctl",
+        on_down: Callable[[], None] | None = None,
+        recv_fds: bool = False,
+    ) -> None:
+        self._sock = sock
+        self._sock.setblocking(True)
+        self._handler = handler
+        self.name = name
+        self._on_down = on_down
+        self._recv_fds = recv_fds
+        self._decoder = StreamDecoder(CODEC_BINARY)
+        self._fd_fifo: "queue.SimpleQueue[int]" = queue.SimpleQueue()
+        self._reqs = itertools.count(1)
+        self._waiters: dict[int, queue.Queue] = {}
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._closed = False
+        self._listener: threading.Thread | None = None
+
+    def start(self) -> None:
+        self._listener = threading.Thread(
+            target=self._listen, name=f"simfs-{self.name}", daemon=True
+        )
+        self._listener.start()
+
+    # ------------------------------------------------------------------ #
+    def send(self, message: dict) -> None:
+        """One-way frame (no reply expected)."""
+        data = encode_frame(message, CODEC_BINARY)
+        try:
+            with self._send_lock:
+                self._sock.sendall(data)
+        except OSError as exc:
+            raise DVConnectionLost(
+                f"control channel {self.name!r} died on send: {exc}"
+            ) from exc
+
+    def send_with_fd(self, message: dict, fd: int) -> None:
+        """One-way frame carrying one file descriptor (``ctl.conn``)."""
+        data = encode_frame(message, CODEC_BINARY)
+        try:
+            with self._send_lock:
+                socket.send_fds(self._sock, [data], [fd])
+        except OSError as exc:
+            raise DVConnectionLost(
+                f"control channel {self.name!r} died on fd send: {exc}"
+            ) from exc
+
+    def call(self, message: dict, timeout: float = 10.0) -> dict:
+        """Request/reply round trip; :class:`DVConnectionLost` when the
+        channel dies, ``TimeoutError`` when the peer does not answer."""
+        if self._closed:
+            raise DVConnectionLost(f"control channel {self.name!r} is closed")
+        req = next(self._reqs)
+        message = dict(message)
+        message["req"] = req
+        waiter: queue.Queue = queue.Queue(maxsize=1)
+        with self._lock:
+            self._waiters[req] = waiter
+        try:
+            self.send(message)
+            reply = waiter.get(timeout=timeout)
+        except queue.Empty:
+            raise TimeoutError(
+                f"control peer {self.name!r} did not answer "
+                f"{message.get('op')!r} within {timeout}s"
+            ) from None
+        finally:
+            with self._lock:
+                self._waiters.pop(req, None)
+        if reply is None:
+            raise DVConnectionLost(
+                f"control channel {self.name!r} died mid-call"
+            )
+        return reply
+
+    # ------------------------------------------------------------------ #
+    def _recv_chunk(self) -> bytes:
+        if not self._recv_fds:
+            return self._sock.recv(_RECV_SIZE)
+        msg, fds, _flags, _addr = socket.recv_fds(
+            self._sock, _RECV_SIZE, _MAX_FDS_PER_RECV
+        )
+        for fd in fds:
+            self._fd_fifo.put(fd)
+        return msg
+
+    def _listen(self) -> None:
+        try:
+            while not self._closed:
+                chunk = self._recv_chunk()
+                if not chunk:
+                    break
+                self._decoder.feed(chunk)
+                while True:
+                    message = self._decoder.next_message()
+                    if message is None:
+                        break
+                    self._dispatch(message)
+        except (OSError, SimFSError):
+            pass
+        self._drain_stray_fds()
+        self._fail_outstanding()
+        if not self._closed and self._on_down is not None:
+            try:
+                self._on_down()
+            except Exception:
+                pass
+
+    def _dispatch(self, message: dict) -> None:
+        if message.get("op") == CTL_REPLY:
+            with self._lock:
+                waiter = self._waiters.pop(message.get("reply_to"), None)
+            if waiter is not None:
+                waiter.put(message)
+            return
+        fd: int | None = None
+        if message.get("op") == CTL_CONN:
+            try:
+                fd = self._fd_fifo.get_nowait()
+            except queue.Empty:
+                return  # truncated ancillary data: nothing to adopt
+        # Each request runs on its own thread: a handler blocking on a
+        # round trip back through this very channel (merged stats) must
+        # not stall pings, replies or later requests.
+        threading.Thread(
+            target=self._handle,
+            args=(message, fd),
+            name=f"simfs-{self.name}-req",
+            daemon=True,
+        ).start()
+
+    def _handle(self, message: dict, fd: int | None) -> None:
+        reply: dict | None = None
+        try:
+            if self._handler is not None:
+                reply = self._handler(message, fd)
+            elif fd is not None:
+                _close_fd(fd)
+        except Exception as exc:
+            reply = {"error": 1, "detail": f"{type(exc).__name__}: {exc}"}
+        req = message.get("req")
+        if req is None or reply is None:
+            return
+        reply = dict(reply)
+        reply["op"] = CTL_REPLY
+        reply["reply_to"] = req
+        try:
+            self.send(reply)
+        except DVConnectionLost:
+            pass
+
+    def _drain_stray_fds(self) -> None:
+        while True:
+            try:
+                _close_fd(self._fd_fifo.get_nowait())
+            except queue.Empty:
+                return
+
+    def _fail_outstanding(self) -> None:
+        with self._lock:
+            waiters = list(self._waiters.values())
+            self._waiters.clear()
+        for waiter in waiters:
+            waiter.put(None)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def _close_fd(fd: int) -> None:
+    try:
+        os.close(fd)
+    except OSError:
+        pass

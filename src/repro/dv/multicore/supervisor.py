@@ -1,0 +1,852 @@
+"""The multi-core supervisor: lifecycle, membership oracle, acceptor tier.
+
+:class:`MultiCoreServer` is the drop-in multi-process counterpart of a
+single :class:`~repro.dv.server.DVServer`: same ``add_context`` /
+``start`` / ``stop(drain_timeout)`` surface, but behind it N
+shard-executor processes (default ``os.cpu_count()``) each run their own
+selector event loop and own the context shards an internal
+:class:`~repro.cluster.ring.HashRing` assigns to them.
+
+The supervisor is the *only* membership authority: executors never gossip.
+It spawns the fleet, binds the acceptor tier (SO_REUSEPORT port sharing
+where the kernel supports it, an fd-passing acceptor otherwise),
+broadcasts ``ctl.ring`` views, pings for liveness (a ``kill -9`` shows
+up even sooner, as EOF on the control socketpair), restarts crashed
+executors, and re-broadcasts so the survivors replay stranded waiters —
+the cluster tier's reassignment dance, one machine tall.
+
+``accept="none"`` turns the pool into a cluster node's local engine: no
+client plane at all; the owning :class:`~repro.cluster.node.ClusterNode`
+forwards ops in over supervisor-held peer links (:meth:`forward`) and
+gets ``ready`` notifications back through ``ready_router``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.link import PeerLink, PeerTimeout
+from repro.cluster.ring import HashRing
+from repro.core.context import SimulationContext
+from repro.core.errors import (
+    DETAIL_ALREADY_ATTACHED,
+    DETAIL_NOT_ATTACHED,
+    DVConnectionLost,
+    ErrorCode,
+    InvalidArgumentError,
+    ProtocolError,
+)
+from repro.dv.coordinator import Notification
+from repro.dv.multicore.control import (
+    CTL_CONN,
+    CTL_DEACTIVATE,
+    CTL_DRAIN,
+    CTL_HELLO,
+    CTL_PING,
+    CTL_RING,
+    CTL_STATS,
+    CTL_STATS_ALL,
+    CTL_STOP,
+    ControlChannel,
+)
+from repro.dv.multicore.executor import ExecutorSpec, run_executor
+from repro.dv.multicore.gateway import ExecutorCatalogEntry
+from repro.dv.protocol import make_fwd, unwrap_fwd
+from repro.dv.server import DVServer
+from repro.metrics import MetricsRegistry, merge_snapshots
+
+__all__ = ["MultiCoreServer"]
+
+
+@dataclass
+class _ExecutorHandle:
+    """Supervisor-side record of one executor process."""
+
+    executor_id: str
+    incarnation: int
+    process: object
+    channel: ControlChannel
+    path: str
+    alive: bool = True
+    pid: int | None = None
+    ready: threading.Event = field(default_factory=threading.Event)
+
+
+def pick_accept_mode() -> str:
+    """Kernel-dependent acceptor choice: SO_REUSEPORT load balancing
+    where available, single-acceptor fd passing otherwise."""
+    if hasattr(socket, "SO_REUSEPORT") and hasattr(socket, "send_fds"):
+        return "reuseport"
+    if hasattr(socket, "send_fds"):
+        return "fdpass"
+    raise OSError("neither SO_REUSEPORT nor fd passing is available")
+
+
+class MultiCoreServer:
+    """Supervisor over N shared-nothing shard-executor processes."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int | None = None,
+        accept: str | None = None,
+        vnodes: int = 32,
+        start_method: str | None = None,
+        restart_crashed: bool = True,
+        heartbeat_interval: float = 0.5,
+        heartbeat_misses: int = 4,
+        rpc_timeout: float = 10.0,
+        io_workers: int | None = None,
+        spawn_timeout: float = 30.0,
+        ready_router=None,
+    ) -> None:
+        if accept is None:
+            accept = pick_accept_mode()
+        if accept not in ("reuseport", "fdpass", "none"):
+            raise InvalidArgumentError(f"unknown accept mode {accept!r}")
+        self._host = host
+        self._port = port
+        self.workers = workers or os.cpu_count() or 1
+        self.accept = accept
+        self.vnodes = vnodes
+        self.restart_crashed = restart_crashed
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_misses = heartbeat_misses
+        self.rpc_timeout = rpc_timeout
+        self._io_workers = io_workers
+        self._spawn_timeout = spawn_timeout
+        self._start_method = start_method
+        self.metrics = MetricsRegistry()
+        self._m_restarts = self.metrics.counter("sup.executor_restarts")
+        self._m_alive = self.metrics.gauge("sup.executors_alive")
+        self._m_epoch = self.metrics.gauge("sup.ring_epoch")
+        #: Serializes membership/handles/active-set state.  Broadcasts run
+        #: under it (executors never call back into the supervisor's lock).
+        self._lock = threading.RLock()
+        self._catalog: dict[str, ExecutorCatalogEntry] = {}
+        self._active: set[str] = set()
+        self._handles: dict[str, _ExecutorHandle] = {}
+        self.ring = HashRing(vnodes)
+        self._running = False
+        self._tmpdir: str | None = None
+        self._reserve: socket.socket | None = None
+        self._acceptor: socket.socket | None = None
+        self._acceptor_thread: threading.Thread | None = None
+        self._rr = 0  # fd-passing round-robin cursor
+        # Engine-mode client plane (accept="none"): supervisor-held peer
+        # links into the pool, plus the ingress bookkeeping needed to
+        # replay forwarded waits when an executor dies.
+        self._ready_router = ready_router
+        self._links: dict[str, PeerLink] = {}
+        self._links_lock = threading.Lock()
+        self._ingress_ctx: dict[str, dict[str, str]] = {}
+        self._pending: dict[tuple[str, str, str], str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Configuration (before start)
+    # ------------------------------------------------------------------ #
+    def add_context(
+        self,
+        context: SimulationContext,
+        output_dir: str,
+        restart_dir: str,
+        alpha_delay: float = 0.0,
+        tau_delay: float = 0.0,
+        active: bool = True,
+    ) -> None:
+        """Declare a context pool-wide.  ``active=False`` registers the
+        catalog entry without serving it (cluster engine mode activates
+        on ring ownership)."""
+        if self._running:
+            raise InvalidArgumentError(
+                "add_context must precede start() (the catalog ships to "
+                "executors at spawn time)"
+            )
+        os.makedirs(output_dir, exist_ok=True)
+        os.makedirs(restart_dir, exist_ok=True)
+        self._catalog[context.name] = ExecutorCatalogEntry(
+            context, output_dir, restart_dir, alpha_delay, tau_delay
+        )
+        if active:
+            self._active.add(context.name)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) clients connect to; valid after :meth:`start`."""
+        sock = self._reserve if self._reserve is not None else self._acceptor
+        assert sock is not None, "server not started (or accept='none')"
+        return sock.getsockname()[:2]
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._tmpdir = tempfile.mkdtemp(prefix="simfs-mc-")
+        if self.accept == "reuseport":
+            # Bound but *not* listening: reserves the port number without
+            # stealing SYNs from the executors' real listeners.
+            self._reserve = DVServer.make_reuseport_listener(
+                self._host, self._port, listen=False
+            )
+            self._port = self._reserve.getsockname()[1]
+        elif self.accept == "fdpass":
+            self._acceptor = DVServer.make_reuseport_listener(
+                self._host, self._port, listen=True
+            )
+            self._port = self._acceptor.getsockname()[1]
+        self._running = True
+        method = self._start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else "spawn"
+        self._mp_ctx = multiprocessing.get_context(method)
+        with self._lock:
+            for idx in range(self.workers):
+                exec_id = f"exec.{idx}"
+                self._handles[exec_id] = self._spawn(exec_id, incarnation=1)
+        deadline = time.monotonic() + self._spawn_timeout
+        for handle in list(self._handles.values()):
+            remaining = max(0.1, deadline - time.monotonic())
+            if not handle.ready.wait(remaining):
+                self.stop(drain_timeout=0)
+                raise DVConnectionLost(
+                    f"executor {handle.executor_id!r} did not come up "
+                    f"within {self._spawn_timeout}s"
+                )
+        with self._lock:
+            for exec_id in sorted(self._handles):
+                self.ring.add_node(exec_id)
+            self._m_epoch.set(self.ring.epoch)
+            self._m_alive.set(len(self._handles))
+        self._broadcast_ring()
+        for handle in list(self._handles.values()):
+            self._start_heartbeat(handle)
+        if self.accept == "fdpass":
+            self._acceptor_thread = threading.Thread(
+                target=self._accept_loop, name="simfs-mc-accept", daemon=True
+            )
+            self._acceptor_thread.start()
+
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        """Two-phase graceful stop.
+
+        Phase one (``drain_timeout > 0``): every executor closes its
+        client listeners and drains in-flight simulations, inboxes and
+        output buffers — replies and ready notifications already owed are
+        delivered, while new connects are refused.  Phase two: executors
+        tear down and exit; stragglers are terminated, then killed.
+        """
+        self._running = False  # stops restarts, heartbeats, accepting
+        for sock in (self._reserve, self._acceptor):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        self._reserve = self._acceptor = None
+        with self._lock:
+            handles = [h for h in self._handles.values() if h.alive]
+        if drain_timeout > 0 and handles:
+            self._fanout(
+                handles,
+                {"op": CTL_DRAIN, "timeout": drain_timeout},
+                timeout=drain_timeout + 2.0,
+            )
+        self._fanout(handles, {"op": CTL_STOP}, timeout=3.0)
+        with self._lock:
+            all_handles = list(self._handles.values())
+            self._handles.clear()
+        with self._links_lock:
+            links, self._links = list(self._links.values()), {}
+        for link in links:
+            link.close()
+        for handle in all_handles:
+            proc = handle.process
+            proc.join(timeout=3.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+            handle.channel.close()
+        if self._tmpdir is not None:
+            try:
+                for name in os.listdir(self._tmpdir):
+                    try:
+                        os.unlink(os.path.join(self._tmpdir, name))
+                    except OSError:
+                        pass
+                os.rmdir(self._tmpdir)
+            except OSError:
+                pass
+            self._tmpdir = None
+
+    def __enter__(self) -> "MultiCoreServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Spawning and membership
+    # ------------------------------------------------------------------ #
+    def _spawn(self, exec_id: str, incarnation: int) -> _ExecutorHandle:
+        parent_sock, child_sock = socket.socketpair(
+            socket.AF_UNIX, socket.SOCK_STREAM
+        )
+        assert self._tmpdir is not None
+        path = os.path.join(self._tmpdir, f"{exec_id}.sock")
+        spec = ExecutorSpec(
+            executor_id=exec_id,
+            host=self._host,
+            port=self._port if self.accept == "reuseport" else 0,
+            accept=self.accept,
+            unix_path=path,
+            workers=self.workers,
+            vnodes=self.vnodes,
+            rpc_timeout=self.rpc_timeout,
+            io_workers=self._io_workers,
+            catalog=list(self._catalog.values()),
+        )
+        process = self._mp_ctx.Process(
+            target=run_executor,
+            args=(spec, child_sock),
+            name=f"simfs-{exec_id}",
+            daemon=True,
+        )
+        process.start()
+        child_sock.close()
+        handle = _ExecutorHandle(
+            executor_id=exec_id,
+            incarnation=incarnation,
+            process=process,
+            channel=None,  # type: ignore[arg-type]  # bound just below
+            path=path,
+        )
+        channel = ControlChannel(
+            parent_sock,
+            handler=lambda msg, fd: self._ctl_request(handle, msg, fd),
+            name=f"sup-{exec_id}",
+            on_down=lambda: self._executor_died(handle),
+        )
+        handle.channel = channel
+        channel.start()
+        return handle
+
+    def _ctl_request(
+        self, handle: _ExecutorHandle, message: dict, fd: int | None
+    ) -> dict | None:
+        op = message.get("op")
+        if op == CTL_HELLO:
+            handle.pid = message.get("pid")
+            handle.ready.set()
+            return None
+        if op == CTL_STATS_ALL:
+            return {"stats": self.stats()}
+        return {"error": 1, "detail": f"unexpected control op {op!r}"}
+
+    def _executor_died(self, handle: _ExecutorHandle) -> None:
+        """Control channel EOF: the executor is gone (crash or kill -9).
+        Remove it from the ring, tell the survivors (they replay stranded
+        forwarded waits), replay our own engine-mode waits, and respawn."""
+        with self._lock:
+            current = self._handles.get(handle.executor_id)
+            if not self._running or current is not handle or not handle.alive:
+                return
+            handle.alive = False
+            self.ring.remove_node(handle.executor_id)
+            self._m_epoch.set(self.ring.epoch)
+            self._m_alive.set(
+                sum(1 for h in self._handles.values() if h.alive)
+            )
+        handle.channel.close()
+        self._drop_link(handle.executor_id)
+        try:
+            handle.process.join(timeout=0.1)
+        except (OSError, ValueError, AssertionError):
+            pass
+        self._broadcast_ring()
+        self._replay_engine_waits()
+        if self.restart_crashed and self._running:
+            self._respawn(handle)
+
+    def _respawn(self, dead: _ExecutorHandle) -> None:
+        self._m_restarts.inc()
+        try:
+            os.unlink(dead.path)
+        except OSError:
+            pass
+        with self._lock:
+            if not self._running:
+                return
+            fresh = self._spawn(dead.executor_id, dead.incarnation + 1)
+            self._handles[dead.executor_id] = fresh
+        if not fresh.ready.wait(self._spawn_timeout):
+            with self._lock:
+                fresh.alive = False
+            fresh.channel.close()
+            try:
+                fresh.process.kill()
+            except (OSError, ValueError, AssertionError):
+                pass
+            return
+        with self._lock:
+            self.ring.add_node(fresh.executor_id)
+            self._m_epoch.set(self.ring.epoch)
+            self._m_alive.set(
+                sum(1 for h in self._handles.values() if h.alive)
+            )
+        self._broadcast_ring()
+        self._replay_engine_waits()
+        self._start_heartbeat(fresh)
+
+    def _broadcast_ring(self) -> None:
+        with self._lock:
+            handles = [h for h in self._handles.values() if h.alive]
+            view = {
+                "op": CTL_RING,
+                "epoch": self.ring.epoch,
+                "executors": {h.executor_id: h.path for h in handles},
+                "active": sorted(self._active),
+            }
+        self._fanout(handles, view, timeout=self.rpc_timeout)
+
+    def _fanout(
+        self, handles: list[_ExecutorHandle], message: dict, timeout: float
+    ) -> dict[str, dict | None]:
+        """Issue one control request to many executors concurrently.
+
+        Concurrency is load-bearing, not an optimization: executor A's
+        post-update replay may block on executor B activating a context,
+        which only happens once B receives this same update — a serial
+        broadcast would turn that into a stall.
+        """
+        results: dict[str, dict | None] = {}
+
+        def one(handle: _ExecutorHandle) -> None:
+            try:
+                results[handle.executor_id] = handle.channel.call(
+                    dict(message), timeout=timeout
+                )
+            except (DVConnectionLost, TimeoutError):
+                results[handle.executor_id] = None
+
+        threads = [
+            threading.Thread(target=one, args=(h,), daemon=True)
+            for h in handles
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout + 1.0)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Health checking
+    # ------------------------------------------------------------------ #
+    def _start_heartbeat(self, handle: _ExecutorHandle) -> None:
+        threading.Thread(
+            target=self._heartbeat_loop,
+            args=(handle,),
+            name=f"simfs-hb-{handle.executor_id}",
+            daemon=True,
+        ).start()
+
+    def _heartbeat_loop(self, handle: _ExecutorHandle) -> None:
+        """Ping one executor; EOF on the channel (crash) is caught by the
+        channel's own listener, so this loop only has to catch *hangs* —
+        a live process whose loop stopped answering."""
+        misses = 0
+        while self._running and handle.alive:
+            time.sleep(self.heartbeat_interval)
+            if not self._running or not handle.alive:
+                return
+            if self._handles.get(handle.executor_id) is not handle:
+                return
+            try:
+                handle.channel.call(
+                    {"op": CTL_PING},
+                    timeout=max(self.heartbeat_interval, 1.0),
+                )
+                misses = 0
+            except DVConnectionLost:
+                return  # channel death path owns the failover
+            except TimeoutError:
+                misses += 1
+                if misses >= self.heartbeat_misses:
+                    # Hung, not dead: kill it so the EOF path takes over.
+                    try:
+                        handle.process.kill()
+                    except (OSError, ValueError, AssertionError):
+                        pass
+                    return
+
+    # ------------------------------------------------------------------ #
+    # fd-passing acceptor tier
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        assert self._acceptor is not None
+        acceptor = self._acceptor
+        while self._running:
+            try:
+                sock, _addr = acceptor.accept()
+            except OSError:
+                return  # listener closed (stop)
+            with self._lock:
+                handles = [h for h in self._handles.values() if h.alive]
+            if not handles:
+                sock.close()
+                continue
+            self._rr = (self._rr + 1) % len(handles)
+            handle = handles[self._rr]
+            try:
+                handle.channel.send_with_fd({"op": CTL_CONN}, sock.fileno())
+            except DVConnectionLost:
+                pass  # executor died mid-handoff; client sees a reset
+            sock.close()
+
+    # ------------------------------------------------------------------ #
+    # Merged stats plane
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """The pool-wide ``stats`` payload: per-shard summaries from every
+        executor, totals summed, metric series merged — with each
+        executor's unmerged series additionally present under an
+        ``exec.<i>.`` prefix, so dashboards can tell merged from
+        per-executor counters."""
+        with self._lock:
+            handles = {
+                h.executor_id: h for h in self._handles.values() if h.alive
+            }
+            executors_info = {
+                h.executor_id: {
+                    "pid": h.pid,
+                    "alive": h.alive,
+                    "incarnation": h.incarnation,
+                }
+                for h in self._handles.values()
+            }
+        per_exec: dict[str, dict] = {}
+        for exec_id, handle in sorted(handles.items()):
+            try:
+                reply = handle.channel.call({"op": CTL_STATS}, timeout=3.0)
+            except (DVConnectionLost, TimeoutError):
+                continue
+            stats = reply.get("stats")
+            if isinstance(stats, dict):
+                per_exec[exec_id] = stats
+        contexts = []
+        connected = 0
+        for exec_id, snap in per_exec.items():
+            for summary in snap.get("contexts", []):
+                contexts.append({**summary, "executor": exec_id})
+            connected += snap.get("server", {}).get("connected_clients", 0)
+            executors_info.setdefault(exec_id, {})["connected_clients"] = (
+                snap.get("server", {}).get("connected_clients", 0)
+            )
+        metrics = merge_snapshots(
+            [snap.get("metrics", {}) for snap in per_exec.values()]
+            + [self.metrics.snapshot()]
+        )
+        # Per-executor series, labeled: "exec.<i>.<series>" next to the
+        # merged, unprefixed series.
+        for exec_id, snap in per_exec.items():
+            for name, metric in snap.get("metrics", {}).items():
+                metrics[f"{exec_id}.{name}"] = metric
+        contexts.sort(key=lambda s: s.get("context", ""))
+        return {
+            "contexts": contexts,
+            "totals": {
+                "restarts": sum(c["total_restarts"] for c in contexts),
+                "simulated_outputs": sum(
+                    c["total_simulated_outputs"] for c in contexts
+                ),
+                "killed_sims": sum(c["total_killed_sims"] for c in contexts),
+            },
+            "metrics": metrics,
+            "server": {
+                "mode": "multiproc",
+                "accept": self.accept,
+                "workers": self.workers,
+                "connected_clients": connected,
+                "executors": executors_info,
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    # Cluster engine mode (accept="none"): the pool as a node's engine
+    # ------------------------------------------------------------------ #
+    def activate(self, name: str) -> None:
+        """Serve ``name`` (its ring-assigned executor activates it)."""
+        with self._lock:
+            if name not in self._catalog:
+                raise InvalidArgumentError(f"unknown context {name!r}")
+            if name in self._active:
+                return
+            self._active.add(name)
+        self._broadcast_ring()
+
+    def deactivate(
+        self, name: str
+    ) -> tuple[list[tuple[str, str]], list[tuple[str, str, str]]]:
+        """Stop serving ``name``; returns the owning executor's captured
+        attachments and waiters for replay by the caller (the cluster
+        tier replays them at the context's new owning node)."""
+        with self._lock:
+            self._active.discard(name)
+            owner = self.ring.owner(name)
+            handle = self._handles.get(owner) if owner else None
+            for key in [k for k in self._pending if k[1] == name]:
+                del self._pending[key]
+            for attachments in self._ingress_ctx.values():
+                attachments.pop(name, None)
+        reattaches: list[tuple[str, str]] = []
+        replays: list[tuple[str, str, str]] = []
+        if handle is not None and handle.alive:
+            try:
+                reply = handle.channel.call(
+                    {"op": CTL_DEACTIVATE, "context": name},
+                    timeout=self.rpc_timeout,
+                )
+                reattaches = [tuple(r) for r in reply.get("reattaches", [])]
+                replays = [tuple(r) for r in reply.get("replays", [])]
+            except (DVConnectionLost, TimeoutError):
+                pass
+        self._broadcast_ring()
+        return reattaches, replays
+
+    def active_contexts(self) -> list[str]:
+        with self._lock:
+            return sorted(self._active)
+
+    def forward(self, client_id: str, inner: dict) -> dict:
+        """Engine-mode ingress: run one client op on the owning executor,
+        riding out executor death and activation lag exactly like the
+        executors' own gateways do."""
+        payload, owner = self._forward_routed(client_id, inner)
+        self._track_ingress(client_id, inner, payload, owner)
+        return payload
+
+    def _forward_routed(
+        self, client_id: str, inner: dict
+    ) -> tuple[dict, str | None]:
+        context = inner.get("context")
+        deadline = time.monotonic() + self.rpc_timeout
+        while True:
+            with self._lock:
+                owner = (
+                    self.ring.owner(context)
+                    if isinstance(context, str) else None
+                )
+                serves = context in self._active
+            if owner is None or not serves:
+                return {
+                    "error": int(ErrorCode.ERR_CONTEXT),
+                    "detail": f"no executor serves context {context!r}",
+                }, owner
+            try:
+                link = self._link_to(owner)
+                reply = link.call(
+                    make_fwd("sup", client_id, inner),
+                    timeout=self.rpc_timeout,
+                )
+            except PeerTimeout:
+                return {
+                    "error": int(ErrorCode.ERR_CONNECTION),
+                    "detail": f"executor {owner!r} timed out on {context!r}",
+                }, owner
+            except (DVConnectionLost, OSError):
+                self._drop_link(owner)
+                if time.monotonic() >= deadline:
+                    return {
+                        "error": int(ErrorCode.ERR_CONNECTION),
+                        "detail": f"executor {owner!r} is unreachable",
+                    }, owner
+                time.sleep(0.02)
+                continue
+            payload = reply.get("payload")
+            if not isinstance(payload, dict):
+                payload = {
+                    "error": reply.get("error", int(ErrorCode.ERR_PROTOCOL)),
+                    "detail": reply.get("detail", "malformed fwd_reply"),
+                }
+            if (
+                payload.get("error") == int(ErrorCode.ERR_CONTEXT)
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+                continue
+            if (
+                payload.get("error") == int(ErrorCode.ERR_INVALID)
+                and DETAIL_NOT_ATTACHED in payload.get("detail", "")
+                and inner.get("op") not in ("attach", "finalize")
+                and context in self._ingress_ctx.get(client_id, {})
+                and time.monotonic() < deadline
+            ):
+                if self._ensure_attached(client_id, context):
+                    continue
+            return payload, owner
+
+    def _track_ingress(
+        self, client_id: str, inner: dict, payload: dict, owner: str | None
+    ) -> None:
+        op = inner.get("op")
+        context = inner.get("context")
+        if payload.get("error") or not isinstance(context, str) or owner is None:
+            return
+        with self._lock:
+            if op == "attach":
+                self._ingress_ctx.setdefault(client_id, {})[context] = owner
+            elif op == "finalize":
+                self._ingress_ctx.get(client_id, {}).pop(context, None)
+            elif op == "open" and not payload.get("available"):
+                self._pending[(client_id, context, inner.get("file"))] = owner
+            elif op == "release":
+                self._pending.pop((client_id, context, inner.get("file")), None)
+            elif op == "acquire":
+                for result in payload.get("results", ()):
+                    if not result.get("available"):
+                        key = (client_id, context, result.get("file"))
+                        self._pending[key] = owner
+
+    def _ensure_attached(self, client_id: str, context_name: str) -> bool:
+        payload, owner = self._forward_routed(
+            client_id, {"op": "attach", "context": context_name}
+        )
+        error = payload.get("error")
+        ok = not error or (
+            error == int(ErrorCode.ERR_INVALID)
+            and DETAIL_ALREADY_ATTACHED in payload.get("detail", "")
+        )
+        if ok and owner is not None:
+            with self._lock:
+                attachments = self._ingress_ctx.get(client_id)
+                if attachments is not None and context_name in attachments:
+                    attachments[context_name] = owner
+        return ok
+
+    def finalize_client(self, client_id: str) -> None:
+        """Engine-mode drop hook relay: the node lost a client's TCP
+        connection — finalize its pool-side attachments."""
+        with self._lock:
+            for key in [k for k in self._pending if k[0] == client_id]:
+                del self._pending[key]
+            forwarded = self._ingress_ctx.pop(client_id, {})
+        for context in forwarded:
+            try:
+                self._forward_routed(
+                    client_id, {"op": "finalize", "context": context}
+                )
+            except Exception:
+                pass
+
+    def _replay_engine_waits(self) -> None:
+        """After a membership change: re-attach and re-open every engine
+        forwarded wait recorded against an executor that no longer owns
+        its context."""
+        reattaches: list[tuple[str, str]] = []
+        replays: list[tuple[str, str, str]] = []
+        with self._lock:
+            for client_id, attachments in self._ingress_ctx.items():
+                for context_name, owner in list(attachments.items()):
+                    if self.ring.owner(context_name) != owner:
+                        reattaches.append((client_id, context_name))
+            for key, owner in list(self._pending.items()):
+                client_id, context_name, filename = key
+                if self.ring.owner(context_name) != owner:
+                    replays.append((client_id, context_name, filename))
+                    del self._pending[key]
+        if not reattaches and not replays:
+            return
+        seen: set[tuple[str, str]] = set()
+        for client_id, context_name in reattaches:
+            if (client_id, context_name) not in seen:
+                seen.add((client_id, context_name))
+                self._ensure_attached(client_id, context_name)
+        for client_id, context_name, filename in replays:
+            if (client_id, context_name) not in seen:
+                seen.add((client_id, context_name))
+                if not self._ensure_attached(client_id, context_name):
+                    self._deliver_ready(
+                        Notification(client_id, context_name, filename, ok=False)
+                    )
+                    continue
+            payload, owner = self._forward_routed(
+                client_id,
+                {"op": "open", "context": context_name, "file": filename},
+            )
+            if payload.get("error"):
+                self._deliver_ready(
+                    Notification(client_id, context_name, filename, ok=False)
+                )
+            elif payload.get("available"):
+                self._deliver_ready(
+                    Notification(client_id, context_name, filename, ok=True)
+                )
+            else:
+                with self._lock:
+                    self._pending[(client_id, context_name, filename)] = owner
+
+    def _link_to(self, exec_id: str) -> PeerLink:
+        with self._links_lock:
+            link = self._links.get(exec_id)
+            if link is not None and not link.closed:
+                return link
+        with self._lock:
+            handle = self._handles.get(exec_id)
+            path = handle.path if handle is not None and handle.alive else None
+        if path is None:
+            raise DVConnectionLost(f"executor {exec_id!r} is not alive")
+        fresh = PeerLink(
+            "sup", exec_id, "", 0,
+            on_fwd=self._on_link_fwd,
+            on_down=self._drop_link,
+            path=path,
+            connect_timeout=2.0,
+        )
+        with self._links_lock:
+            link = self._links.get(exec_id)
+            if link is not None and not link.closed:
+                fresh.close()
+                return link
+            self._links[exec_id] = fresh
+        return fresh
+
+    def _drop_link(self, exec_id: str) -> None:
+        with self._links_lock:
+            link = self._links.pop(exec_id, None)
+        if link is not None:
+            link.close()
+
+    def _on_link_fwd(self, message: dict) -> None:
+        try:
+            _origin, client_id, inner = unwrap_fwd(message)
+        except ProtocolError:
+            return
+        if inner.get("op") != "ready":
+            return
+        context = inner.get("context")
+        filename = inner.get("file")
+        with self._lock:
+            self._pending.pop((client_id, context, filename), None)
+        self._deliver_ready(Notification(
+            client_id, context, filename, ok=bool(inner.get("ok", True))
+        ))
+
+    def _deliver_ready(self, notification: Notification) -> None:
+        if self._ready_router is not None:
+            try:
+                self._ready_router(notification)
+            except Exception:
+                pass

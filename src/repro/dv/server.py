@@ -93,6 +93,13 @@ _ROUTABLE_OPS = frozenset(
     {"open", "acquire", "release", "wclose", "bitrep", "attach", "finalize"}
 )
 
+#: Per-op service-time buckets (seconds): finer than DEFAULT_BUCKETS at the
+#: microsecond end, where the in-memory ops live.
+_SERVICE_BUCKETS = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025,
+    0.005, 0.025, 0.1, 0.5, 2.5,
+)
+
 
 @dataclass(frozen=True)
 class _ExtraOp:
@@ -145,11 +152,19 @@ class DVServer:
         port: int = 0,
         mode: str = "selector",
         workers: int | None = None,
+        reuse_port: bool = False,
+        listen: bool = True,
     ) -> None:
         if mode not in ("selector", "threaded"):
             raise InvalidArgumentError(f"unknown server mode {mode!r}")
+        if not listen and mode != "selector":
+            raise InvalidArgumentError(
+                "listen=False (adopted-connection mode) requires mode='selector'"
+            )
         self._host = host
         self._port = port
+        self._reuse_port = reuse_port
+        self._listen = listen
         self.mode = mode
         self._num_workers = workers or max(2, min(8, os.cpu_count() or 2))
         self._clock = WallClock()
@@ -164,6 +179,16 @@ class DVServer:
         self._clients: dict[str, _ClientConn] = {}
         self._clients_lock = threading.Lock()
         self._listener: socket.socket | None = None
+        # Extra listening sockets added before start(): (sock, role).
+        # ``stop_accepting(role)`` closes every listener of one role, so
+        # an executor can refuse new clients while its peer plane (role
+        # "peer") keeps accepting forwarded traffic during a drain.
+        self._extra_listeners: list[tuple[socket.socket, str]] = []
+        self._listener_roles: dict[int, str] = {}
+        # Sockets handed over by an external acceptor (fd passing): the
+        # I/O thread registers them on its next pass.
+        self._adopt_pending: collections.deque[socket.socket] = collections.deque()
+        self._stop_accept_pending: collections.deque[str] = collections.deque()
         self._accept_thread: threading.Thread | None = None
         self._io_thread: threading.Thread | None = None
         self._worker_threads: list[threading.Thread] = []
@@ -207,6 +232,9 @@ class DVServer:
         self._m_bytes_sent = self.metrics.counter("wire.bytes_sent")
         self._m_frames_recv = self.metrics.counter("wire.frames_recv")
         self._m_bytes_recv = self.metrics.counter("wire.bytes_recv")
+        # Per-op service-time histograms (p50/p95/p99 in the stats op),
+        # created lazily on first dispatch of each op.
+        self._op_hist: dict[str, object] = {}
         self._handlers = {
             "open": self._op_open,
             "acquire": self._op_acquire,
@@ -264,6 +292,7 @@ class DVServer:
         handler,
         reply_op: str = "reply",
         needs_worker: bool = False,
+        replace: bool = False,
     ) -> None:
         """Add a service-level op to the dispatch table.
 
@@ -271,9 +300,18 @@ class DVServer:
         contract; the reply frame is sent as ``reply_op``.  Ops that may
         block (peer round trips, file I/O) must pass ``needs_worker=True``
         so the selector front end never runs them on the event loop.
+
+        ``replace=True`` lets an embedding layer shadow an existing op at
+        the top level (the multi-core executor overrides ``stats`` with a
+        merged cross-process view); the built-in handler stays reachable
+        for ``batch`` sub-ops.
         """
-        if name in self._handlers or name in self._extra_ops or name == "hello":
+        if not replace and (
+            name in self._handlers or name in self._extra_ops or name == "hello"
+        ):
             raise InvalidArgumentError(f"op {name!r} is already defined")
+        if name == "hello":
+            raise InvalidArgumentError("the hello handshake cannot be replaced")
         self._extra_ops[name] = _ExtraOp(handler, reply_op, needs_worker)
 
     def set_cluster_hooks(
@@ -298,9 +336,86 @@ class DVServer:
         assert self._listener is not None, "server not started"
         return self._listener.getsockname()[:2]
 
+    def add_listener(self, sock: socket.socket, role: str = "client") -> None:
+        """Register an extra bound+listening socket to accept from.
+
+        Must be called before :meth:`start` (selector mode only).  The
+        multi-core executor adds its Unix-domain peer listener (role
+        ``"peer"``) and, under SO_REUSEPORT, its share of the client port
+        (role ``"client"``) this way.
+        """
+        if self._running:
+            raise InvalidArgumentError("add_listener must precede start()")
+        if self.mode != "selector":
+            raise InvalidArgumentError("extra listeners require mode='selector'")
+        self._extra_listeners.append((sock, role))
+
+    @staticmethod
+    def make_reuseport_listener(
+        host: str, port: int, listen: bool = True
+    ) -> socket.socket:
+        """A TCP socket bound with SO_REUSEADDR + SO_REUSEPORT.
+
+        Every socket sharing a port must set both options consistently
+        (mixing them makes later binds fail with EADDRINUSE on some
+        kernels).  ``listen=False`` returns the socket bound but not
+        listening — a bound-not-listening TCP socket receives no SYNs, so
+        the supervisor uses one purely to reserve the port number while
+        executors carry the real listeners.
+        """
+        if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover
+            raise OSError("SO_REUSEPORT is not supported on this platform")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((host, port))
+            if listen:
+                sock.listen(128)
+        except OSError:
+            sock.close()
+            raise
+        return sock
+
+    def adopt_connection(self, sock: socket.socket) -> None:
+        """Take ownership of an already-accepted client socket.
+
+        The fd-passing acceptor tier hands sockets over this way: the
+        supervisor accepts, picks an executor, ships the fd, and the
+        executor adopts it here.  Thread-safe; the I/O thread registers
+        the socket on its next pass.
+        """
+        if self.mode == "threaded":
+            self._tune_socket(sock)
+            threading.Thread(
+                target=self._serve_client, args=(sock,), daemon=True
+            ).start()
+            return
+        self._adopt_pending.append(sock)
+        self._wake()
+
+    def stop_accepting(self, role: str = "client") -> None:
+        """Close every listener of ``role`` without touching live
+        connections (phase one of a graceful drain).  Thread-safe."""
+        if self.mode == "threaded" or self._selector is None:
+            if role == "client" and self._listener is not None:
+                try:
+                    self._listener.close()
+                except OSError:
+                    pass
+            return
+        self._stop_accept_pending.append(role)
+        self._wake()
+
     def start(self) -> None:
         """Bind, listen, and serve clients on background threads."""
-        self._listener = socket.create_server((self._host, self._port))
+        if self._listen:
+            if self._reuse_port:
+                self._listener = self.make_reuseport_listener(
+                    self._host, self._port
+                )
+            else:
+                self._listener = socket.create_server((self._host, self._port))
         self._running = True
         if self.mode == "threaded":
             self._accept_thread = threading.Thread(
@@ -308,11 +423,16 @@ class DVServer:
             )
             self._accept_thread.start()
             return
-        self._listener.setblocking(False)
         self._selector = selectors.DefaultSelector()
         self._wake_r, self._wake_w = socket.socketpair()
         self._wake_r.setblocking(False)
-        self._selector.register(self._listener, selectors.EVENT_READ, "accept")
+        listeners = list(self._extra_listeners)
+        if self._listener is not None:
+            listeners.insert(0, (self._listener, "client"))
+        for sock, listener_role in listeners:
+            sock.setblocking(False)
+            self._listener_roles[sock.fileno()] = listener_role
+            self._selector.register(sock, selectors.EVENT_READ, ("accept", sock))
         self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
         for idx in range(self._num_workers):
             thread = threading.Thread(
@@ -337,9 +457,12 @@ class DVServer:
         bounds the whole wait; pass ``0`` for an abrupt teardown (what a
         crash looks like to clients and cluster peers).
         """
+        listeners = [sock for sock, _role in self._extra_listeners]
         if self._listener is not None:
+            listeners.insert(0, self._listener)
+        for sock in listeners:
             try:
-                self._listener.close()
+                sock.close()
             except OSError:
                 pass
         if self.mode == "selector" and drain_timeout > 0 and self._running:
@@ -360,13 +483,28 @@ class DVServer:
         for conn in conns:
             self._shutdown_socket(conn.sock)
 
-    def _drain_for_stop(self, timeout: float) -> None:
+    def drain(self, timeout: float) -> bool:
+        """Quiesce without tearing down: wait until in-flight simulations
+        reported, inboxes emptied and output buffers flushed.  Returns
+        True when fully drained within ``timeout``.  Phase two of the
+        multi-core graceful stop (after :meth:`stop_accepting`); existing
+        connections keep being served throughout and afterwards.
+        """
+        if self.mode != "selector" or not self._running:
+            return True
+        return self._drain_for_stop(timeout)
+
+    def _drain_for_stop(self, timeout: float) -> bool:
         """Best-effort quiesce before teardown: wait until running
         re-simulations have reported (their ready notifications are what
         clients block on), the worker pool has drained every inbox, and
         the I/O thread has flushed every output buffer (the I/O machinery
         keeps running throughout)."""
         deadline = time.monotonic() + timeout
+        # The slow part first, event-driven: block on the launcher's idle
+        # signal while in-flight re-simulations finish, instead of
+        # spinning the poll loop below at 5ms for their whole runtime.
+        self.launcher.wait_idle(timeout)
         while time.monotonic() < deadline:
             with self._clients_lock:
                 conns = list(self._clients.values())
@@ -386,9 +524,10 @@ class DVServer:
                             conn.flush_requested = True
                             self._flush_pending.append(conn)
             if not pending:
-                return
+                return True
             self._wake()
             time.sleep(0.005)
+        return False
 
     def __enter__(self) -> "DVServer":
         self.start()
@@ -444,16 +583,19 @@ class DVServer:
             while self._running:
                 events = self._selector.select(timeout=1.0)
                 for key, mask in events:
-                    if key.data == "accept":
-                        self._accept_ready()
-                    elif key.data == "wake":
+                    data = key.data
+                    if isinstance(data, tuple) and data[0] == "accept":
+                        self._accept_ready(data[1])
+                    elif data == "wake":
                         self._drain_wake()
                     else:
-                        conn: _ClientConn = key.data
+                        conn: _ClientConn = data
                         if mask & selectors.EVENT_READ:
                             self._read_ready(conn)
                         if mask & selectors.EVENT_WRITE and not conn.closing:
                             self._flush_conn(conn)
+                self._drain_stop_accept_requests()
+                self._drain_adopt_requests()
                 self._drain_flush_requests()
                 self._drain_resume_requests()
                 self._drain_close_requests()
@@ -469,23 +611,60 @@ class DVServer:
                     except OSError:
                         pass
 
-    def _accept_ready(self) -> None:
-        assert self._listener is not None and self._selector is not None
+    def _accept_ready(self, listener: socket.socket) -> None:
+        assert self._selector is not None
         while True:
             try:
-                sock, _addr = self._listener.accept()
+                sock, _addr = listener.accept()
             except BlockingIOError:
                 return
             except OSError:
                 return  # listener closed
-            self._tune_socket(sock)
-            sock.setblocking(False)
-            conn = _ClientConn(sock)
+            self._register_accepted(sock)
+
+    def _register_accepted(self, sock: socket.socket) -> None:
+        assert self._selector is not None
+        self._tune_socket(sock)
+        sock.setblocking(False)
+        conn = _ClientConn(sock)
+        try:
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+            conn.sel_mask = selectors.EVENT_READ
+        except (KeyError, ValueError, OSError):
+            self._shutdown_socket(sock)
+
+    def _drain_adopt_requests(self) -> None:
+        while True:
             try:
-                self._selector.register(sock, selectors.EVENT_READ, conn)
-                conn.sel_mask = selectors.EVENT_READ
-            except (KeyError, ValueError, OSError):
+                sock = self._adopt_pending.popleft()
+            except IndexError:
+                return
+            if self._running:
+                self._register_accepted(sock)
+            else:
                 self._shutdown_socket(sock)
+
+    def _drain_stop_accept_requests(self) -> None:
+        assert self._selector is not None
+        while True:
+            try:
+                role = self._stop_accept_pending.popleft()
+            except IndexError:
+                return
+            listeners = list(self._extra_listeners)
+            if self._listener is not None:
+                listeners.insert(0, (self._listener, "client"))
+            for sock, listener_role in listeners:
+                if listener_role != role:
+                    continue
+                try:
+                    self._selector.unregister(sock)
+                except (KeyError, ValueError, OSError):
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
 
     def _drain_wake(self) -> None:
         assert self._wake_r is not None
@@ -906,6 +1085,25 @@ class DVServer:
         return self._handlers.get(op)
 
     def _dispatch(self, conn: _ClientConn, message: dict) -> None:
+        started = time.perf_counter()
+        try:
+            self._dispatch_op(conn, message)
+        finally:
+            self._observe_op(message.get("op"), time.perf_counter() - started)
+
+    def _observe_op(self, op, elapsed: float) -> None:
+        """Record one op's service time (dispatch entry to reply queued)."""
+        if not isinstance(op, str):
+            op = "unknown"
+        hist = self._op_hist.get(op)
+        if hist is None:
+            hist = self.metrics.histogram(
+                f"op.{op}.seconds", buckets=_SERVICE_BUCKETS
+            )
+            self._op_hist[op] = hist
+        hist.observe(elapsed)
+
+    def _dispatch_op(self, conn: _ClientConn, message: dict) -> None:
         op = message.get("op")
         req = message.get("req")
         extra = self._extra_ops.get(op)
@@ -1093,6 +1291,7 @@ class DVServer:
             snapshot["server"] = {
                 "connected_clients": len(self._clients),
                 "mode": self.mode,
+                "workers": self._num_workers,
             }
         return {"stats": snapshot}
 
@@ -1261,6 +1460,15 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated peer daemons as [id@]host:port; implies "
              "cluster mode (the config file may also set node_id/peers)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="run a multi-core engine with this many shard-executor "
+             "processes (standalone: the whole daemon becomes a "
+             "supervisor + executor pool; cluster: this node serves its "
+             "owned contexts from the pool).  Defaults to single-process; "
+             "--workers 0 means one executor per CPU core.  The config "
+             "file may also set \"workers\".",
+    )
     args = parser.parse_args(argv)
 
     if args.stats:
@@ -1281,6 +1489,9 @@ def main(argv: list[str] | None = None) -> int:
         peers = [p.strip() for p in peer_arg.split(",") if p.strip()]
     elif isinstance(peer_arg, list):
         peers = [str(p) for p in peer_arg]
+    workers = args.workers if args.workers is not None else config.get("workers")
+    if workers is not None:
+        workers = int(workers) or (os.cpu_count() or 1)  # 0 = per core
     node = None
     if node_id or peers:
         from repro.cluster import ClusterNode
@@ -1295,8 +1506,17 @@ def main(argv: list[str] | None = None) -> int:
             heartbeat_interval=float(config.get("heartbeat_interval", 0.5)),
             suspect_after=int(config.get("suspect_after", 3)),
             mode=config.get("mode", "selector"),
+            engine_workers=workers,
         )
         server = node.server
+    elif workers is not None and workers > 1:
+        from repro.dv.multicore import MultiCoreServer
+
+        server = MultiCoreServer(
+            config.get("host", "127.0.0.1"),
+            config.get("port", 7878),
+            workers=workers,
+        )
     else:
         server = DVServer(
             config.get("host", "127.0.0.1"),
@@ -1328,7 +1548,12 @@ def main(argv: list[str] | None = None) -> int:
     service.start()
     host, port = server.address
     if node is not None:
-        print(f"simfs-dv cluster node {node.node_id} listening on {host}:{port}")
+        engine = f" ({workers}-core engine)" if node.engine is not None else ""
+        print(f"simfs-dv cluster node {node.node_id} listening on "
+              f"{host}:{port}{engine}")
+    elif workers is not None and workers > 1:
+        print(f"simfs-dv listening on {host}:{port} "
+              f"({workers} shard executors)")
     else:
         print(f"simfs-dv listening on {host}:{port}")
     try:

@@ -251,6 +251,25 @@ class ContextShard:
                 "alpha_estimate": self.alpha_ema.value,
             }
 
+    def capture_handoff(self) -> tuple[list[str], list[tuple[str, str]]]:
+        """Atomically capture client state for an ownership handoff.
+
+        Returns ``(attached_client_ids, [(client_id, filename), ...])`` —
+        everyone attached to this shard plus every outstanding waiter —
+        and clears the waiter table, so a subsequent unregister does not
+        fail those waits: the new owner replays them instead.  Used when a
+        context moves between cluster nodes or multi-core executors.
+        """
+        with self.lock:
+            attached = list(self.agents)
+            captured = [
+                (client_id, self.context.filename_of(key))
+                for key, waiting in self.waiters.items()
+                for client_id in waiting
+            ]
+            self.waiters.clear()
+        return attached, captured
+
     # ------------------------------------------------------------------ #
     # Client management
     # ------------------------------------------------------------------ #

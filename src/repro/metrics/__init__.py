@@ -1,5 +1,11 @@
 """Metrics plane: counters, gauges and histograms for the DV service."""
 
-from repro.metrics.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.metrics.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "merge_snapshots"]

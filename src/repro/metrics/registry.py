@@ -25,7 +25,13 @@ from collections.abc import Sequence
 
 from repro.core.errors import InvalidArgumentError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+]
 
 #: Default histogram bucket upper bounds (seconds-flavoured, log-spaced).
 DEFAULT_BUCKETS = (
@@ -143,17 +149,120 @@ class Histogram:
 
     def snapshot(self) -> dict:
         with self._lock:
-            return {
-                "type": "histogram",
-                "count": self._count,
-                "sum": self._sum,
-                "min": self._min,
-                "max": self._max,
-                "buckets": {
-                    **{str(b): c for b, c in zip(self.bounds, self._bucket_counts)},
-                    "+inf": self._bucket_counts[-1],
-                },
-            }
+            counts = list(self._bucket_counts)
+            count, total = self._count, self._sum
+            lo, hi = self._min, self._max
+        snap = {
+            "type": "histogram",
+            "count": count,
+            "sum": total,
+            "min": lo,
+            "max": hi,
+            "buckets": {
+                **{str(b): c for b, c in zip(self.bounds, counts)},
+                "+inf": counts[-1],
+            },
+        }
+        snap.update(
+            _bucket_percentiles(self.bounds, counts, count, lo, hi)
+        )
+        return snap
+
+
+def _bucket_percentiles(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    count: int,
+    lo: float | None,
+    hi: float | None,
+    quantiles: Sequence[float] = (0.5, 0.95, 0.99),
+) -> dict[str, float | None]:
+    """Estimate quantiles from fixed-bucket counts.
+
+    Linear interpolation inside the covering bucket; the first bucket's
+    lower edge is the observed minimum (0 if unknown) and the overflow
+    bucket is pinned to the observed maximum.  Estimates are clamped to
+    the observed ``[min, max]`` so they never leave the data's range.
+    """
+    keys = ["p" + str(int(q * 100)) for q in quantiles]
+    if count <= 0:
+        return dict.fromkeys(keys)
+    out: dict[str, float | None] = {}
+    for key, q in zip(keys, quantiles):
+        rank = q * count
+        cum = 0.0
+        value = hi if hi is not None else bounds[-1]
+        for idx, n in enumerate(counts):
+            if n <= 0:
+                continue
+            if cum + n >= rank:
+                if idx == 0:
+                    lower = lo if lo is not None else 0.0
+                else:
+                    lower = bounds[idx - 1]
+                if idx < len(bounds):
+                    upper = bounds[idx]
+                else:  # overflow bucket
+                    upper = hi if hi is not None else bounds[-1]
+                frac = (rank - cum) / n
+                value = lower + (upper - lower) * max(0.0, min(1.0, frac))
+                break
+            cum += n
+        if lo is not None:
+            value = max(value, lo)
+        if hi is not None:
+            value = min(value, hi)
+        out[key] = value
+    return out
+
+
+def merge_snapshots(snapshots: Sequence[dict[str, dict]]) -> dict[str, dict]:
+    """Merge per-process ``MetricsRegistry.snapshot()`` dicts into one view.
+
+    Counters and gauges sum; histograms merge bucket-wise (bucket layouts
+    must agree for a given series name) and re-derive their percentile
+    estimates from the combined counts.  Used by the multi-core supervisor
+    to fold per-executor metric planes into the single ``stats`` payload.
+    """
+    merged: dict[str, dict] = {}
+    for snap in snapshots:
+        for name, metric in snap.items():
+            cur = merged.get(name)
+            if cur is None:
+                merged[name] = {
+                    **metric,
+                    "buckets": dict(metric.get("buckets", {})),
+                }
+                if "buckets" not in metric:
+                    merged[name].pop("buckets")
+                continue
+            if cur.get("type") != metric.get("type"):
+                raise InvalidArgumentError(
+                    f"metric {name!r} merged as both "
+                    f"{cur.get('type')!r} and {metric.get('type')!r}"
+                )
+            if metric["type"] in ("counter", "gauge"):
+                cur["value"] += metric["value"]
+            else:
+                cur["count"] += metric["count"]
+                cur["sum"] += metric["sum"]
+                for edge in ("min", "max"):
+                    vals = [v for v in (cur[edge], metric[edge]) if v is not None]
+                    if vals:
+                        cur[edge] = min(vals) if edge == "min" else max(vals)
+                for key, n in metric["buckets"].items():
+                    cur["buckets"][key] = cur["buckets"].get(key, 0) + n
+    for metric in merged.values():
+        if metric.get("type") == "histogram":
+            buckets = metric["buckets"]
+            bounds = sorted(float(k) for k in buckets if k != "+inf")
+            counts = [buckets[str(b)] for b in bounds] + [buckets.get("+inf", 0)]
+            metric.update(
+                _bucket_percentiles(
+                    bounds, counts, metric["count"], metric["min"], metric["max"]
+                )
+            )
+    return merged
 
 
 class MetricsRegistry:

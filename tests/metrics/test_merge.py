@@ -1,0 +1,134 @@
+"""Histogram percentiles and cross-process snapshot merging.
+
+The multi-core supervisor presents one metrics plane for N executor
+processes: each ships its registry snapshot over the control channel and
+the supervisor merges them (:func:`repro.metrics.merge_snapshots`).
+Percentiles cannot be merged, so they are re-derived from the merged
+bucket counts — these tests pin the estimator's contract: linear
+interpolation inside the covering bucket, clamped to the observed
+[min, max].
+"""
+
+import pytest
+
+from repro.core.errors import InvalidArgumentError
+from repro.metrics import MetricsRegistry, merge_snapshots
+
+
+def snapshot_of(*observations, buckets=(0.01, 0.1, 1.0)):
+    registry = MetricsRegistry()
+    histogram = registry.histogram("h", buckets=buckets)
+    for value in observations:
+        histogram.observe(value)
+    return registry.snapshot()["h"]
+
+
+class TestPercentiles:
+    def test_empty_histogram_has_null_percentiles(self):
+        snap = snapshot_of()
+        assert snap["p50"] is None
+        assert snap["p95"] is None
+        assert snap["p99"] is None
+
+    def test_single_observation_pins_all_percentiles(self):
+        snap = snapshot_of(0.05)
+        assert snap["p50"] == pytest.approx(0.05)
+        assert snap["p99"] == pytest.approx(0.05)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        # Everything lands in the (0.01, 0.1] bucket; interpolation must
+        # not wander outside what was actually seen.
+        snap = snapshot_of(0.02, 0.03, 0.04, 0.05)
+        assert snap["min"] <= snap["p50"] <= snap["max"]
+        assert snap["min"] <= snap["p99"] <= snap["max"]
+
+    def test_overflow_bucket_bounded_by_max(self):
+        snap = snapshot_of(0.005, 5.0, 7.0, 9.0)
+        # p99 falls in the +inf bucket, whose upper edge is the observed
+        # maximum: the estimate interpolates toward 9.0 and may never
+        # exceed it.
+        assert 1.0 < snap["p99"] <= 9.0
+        assert snap["max"] == pytest.approx(9.0)
+        # The full-rank quantile of a single overflow observation has
+        # nowhere to interpolate: it pins to the maximum exactly.
+        single = snapshot_of(9.0)
+        assert single["p99"] == pytest.approx(9.0)
+
+    def test_spread_is_ordered(self):
+        values = [i / 1000 for i in range(1, 200)]
+        snap = snapshot_of(*values)
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
+        # The true p50 of [0.001..0.199] is ~0.1; bucket interpolation
+        # with bounds (0.01, 0.1, 1.0) is coarse but must stay in the
+        # covering bucket's range.
+        assert 0.01 <= snap["p50"] <= 1.0
+
+
+class TestMergeSnapshots:
+    def build(self, fill) -> dict:
+        registry = MetricsRegistry()
+        fill(registry)
+        return registry.snapshot()
+
+    def test_counters_and_gauges_sum(self):
+        a = self.build(lambda r: r.counter("ops").inc(3))
+        b = self.build(lambda r: (r.counter("ops").inc(4),
+                                  r.gauge("depth").set(2)))
+        merged = merge_snapshots([a, b])
+        assert merged["ops"]["value"] == pytest.approx(7)
+        assert merged["depth"]["value"] == pytest.approx(2)
+
+    def test_disjoint_names_pass_through(self):
+        a = self.build(lambda r: r.counter("only.a").inc())
+        b = self.build(lambda r: r.counter("only.b").inc(5))
+        merged = merge_snapshots([a, b])
+        assert merged["only.a"]["value"] == 1
+        assert merged["only.b"]["value"] == 5
+
+    def test_histograms_merge_bucketwise(self):
+        a = self.build(lambda r: [
+            r.histogram("h", buckets=(0.01, 0.1)).observe(v)
+            for v in (0.005, 0.05)
+        ])
+        b = self.build(lambda r: [
+            r.histogram("h", buckets=(0.01, 0.1)).observe(v)
+            for v in (0.05, 2.0)
+        ])
+        merged = merge_snapshots([a, b])
+        assert merged["h"]["count"] == 4
+        assert merged["h"]["sum"] == pytest.approx(0.005 + 0.05 + 0.05 + 2.0)
+        assert merged["h"]["min"] == pytest.approx(0.005)
+        assert merged["h"]["max"] == pytest.approx(2.0)
+        # Bucket counts are per-bin (not cumulative): one obs at or below
+        # 0.01, two in (0.01, 0.1], one past the last bound.
+        assert merged["h"]["buckets"]["0.01"] == 1
+        assert merged["h"]["buckets"]["0.1"] == 2
+        assert merged["h"]["buckets"]["+inf"] == 1
+
+    def test_merged_percentiles_rederived(self):
+        a = self.build(lambda r: [
+            r.histogram("h", buckets=(0.01, 0.1)).observe(0.002)
+            for _ in range(99)
+        ])
+        b = self.build(lambda r: r.histogram("h", buckets=(0.01, 0.1))
+                       .observe(5.0))
+        merged = merge_snapshots([a, b])
+        assert merged["h"]["p50"] <= 0.01
+        assert merged["h"]["p99"] >= 0.01
+        assert merged["h"]["p99"] <= 5.0
+
+    def test_type_mismatch_rejected(self):
+        a = self.build(lambda r: r.counter("x").inc())
+        b = self.build(lambda r: r.gauge("x").set(1))
+        with pytest.raises(InvalidArgumentError):
+            merge_snapshots([a, b])
+
+    def test_empty_input(self):
+        assert merge_snapshots([]) == {}
+
+    def test_single_snapshot_round_trips(self):
+        a = self.build(lambda r: (r.counter("c").inc(2),
+                                  r.histogram("h").observe(0.5)))
+        merged = merge_snapshots([a])
+        assert merged["c"]["value"] == 2
+        assert merged["h"]["count"] == 1

@@ -1,0 +1,156 @@
+"""Fuzzing the IPC control-frame path through :class:`StreamDecoder`.
+
+The supervisor<->executor control channel ships binary-codec frames over
+a socketpair; a desynchronized or corrupted stream must surface as
+:class:`ProtocolError` (so the channel dies loudly and failover runs),
+never as a hang, a silent skip, or an unexpected exception type.
+"""
+
+import random
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.dv.multicore.control import (
+    CTL_DRAIN,
+    CTL_HELLO,
+    CTL_PING,
+    CTL_REPLY,
+    CTL_RING,
+    CTL_STATS,
+    CTL_STOP,
+)
+from repro.dv.protocol import CODEC_BINARY, StreamDecoder, encode_frame
+
+
+def ctl_frames(rng, count):
+    """A plausible supervisor<->executor conversation: every control op,
+    with randomized req ids and payload shapes (ring epochs, nested stats
+    snapshots, per-executor metadata)."""
+    frames = []
+    for _ in range(count):
+        req = rng.randrange(1, 1 << 31)
+        frames.append(rng.choice([
+            {"op": CTL_HELLO, "req": req, "executor": f"exec.{rng.randrange(8)}",
+             "pid": rng.randrange(1, 1 << 22)},
+            {"op": CTL_PING, "req": req},
+            {"op": CTL_RING, "req": req, "epoch": rng.randrange(1 << 16),
+             "nodes": [f"exec.{i}" for i in range(rng.randrange(1, 9))]},
+            {"op": CTL_STATS, "req": req},
+            {"op": CTL_DRAIN, "req": req},
+            {"op": CTL_STOP, "req": req},
+            {"op": CTL_REPLY, "req": req, "error": 0,
+             "stats": {"metrics": {"op.open.count": {"value": rng.randrange(1000)},
+                                   "op.open.seconds": {
+                                       "count": rng.randrange(100),
+                                       "sum": rng.random(),
+                                       "buckets": {"0.01": rng.randrange(50),
+                                                   "+inf": rng.randrange(5)}}},
+                       "server": {"mode": "multiproc",
+                                  "drained": rng.random() < 0.5}}},
+            # Forwarded data-plane ops ride the same framing: exercise the
+            # packed struct kinds, not just the JSON fallback.
+            {"op": "open", "req": req, "context": f"ctx{rng.randrange(4)}",
+             "file": f"ctx_out_{rng.randrange(100):08d}.sdf"},
+            {"op": "ready", "context": "ctxa",
+             "file": f"ctxa_out_{rng.randrange(100):08d}.sdf",
+             "ok": rng.random() < 0.9},
+            {"op": "reply", "req": req, "error": 0},
+        ]))
+    return frames
+
+
+def drain(decoder):
+    out = []
+    while True:
+        message = decoder.next_message()
+        if message is None:
+            return out
+        out.append(message)
+
+
+@pytest.mark.parametrize("seed", [1, 7, 2026])
+def test_random_chunking_roundtrips(seed):
+    """Any byte-boundary split of a valid frame stream decodes to exactly
+    the original message sequence."""
+    rng = random.Random(seed)
+    frames = ctl_frames(rng, 120)
+    stream = b"".join(encode_frame(f, CODEC_BINARY) for f in frames)
+
+    decoder = StreamDecoder(CODEC_BINARY)
+    decoded = []
+    offset = 0
+    while offset < len(stream):
+        size = rng.randrange(1, 18)
+        decoder.feed(stream[offset:offset + size])
+        offset += size
+        decoded.extend(drain(decoder))
+
+    assert decoded == frames
+    assert not decoder.has_partial()
+
+
+def test_mid_frame_cut_is_partial():
+    frame = encode_frame({"op": CTL_PING, "req": 9}, CODEC_BINARY)
+    decoder = StreamDecoder(CODEC_BINARY)
+    decoder.feed(frame[:-1])
+    assert decoder.next_message() is None
+    assert decoder.has_partial()  # EOF here would be a mid-message cut
+    decoder.feed(frame[-1:])
+    assert decoder.next_message() == {"op": CTL_PING, "req": 9}
+    assert not decoder.has_partial()
+
+
+def test_bad_magic_raises():
+    frame = bytearray(encode_frame({"op": CTL_PING, "req": 1}, CODEC_BINARY))
+    frame[0] ^= 0xFF
+    decoder = StreamDecoder(CODEC_BINARY)
+    decoder.feed(bytes(frame))
+    with pytest.raises(ProtocolError):
+        decoder.next_message()
+
+
+def test_oversized_length_raises():
+    frame = bytearray(encode_frame({"op": CTL_PING, "req": 1}, CODEC_BINARY))
+    frame[4:8] = (1 << 21).to_bytes(4, "big")  # 2 MiB > frame limit
+    decoder = StreamDecoder(CODEC_BINARY)
+    decoder.feed(bytes(frame))
+    with pytest.raises(ProtocolError):
+        decoder.next_message()
+
+
+def test_unknown_kind_raises():
+    frame = bytearray(encode_frame({"op": CTL_PING, "req": 1}, CODEC_BINARY))
+    frame[1] = 0x7E
+    decoder = StreamDecoder(CODEC_BINARY)
+    decoder.feed(bytes(frame))
+    with pytest.raises(ProtocolError):
+        decoder.next_message()
+
+
+@pytest.mark.parametrize("seed", [11, 42])
+def test_single_byte_corruption_never_hangs_or_leaks(seed):
+    """Flip one byte anywhere in a valid stream: decoding must yield only
+    dict messages and/or one ProtocolError — no other exception type, no
+    infinite loop."""
+    rng = random.Random(seed)
+    frames = ctl_frames(rng, 10)
+    clean = b"".join(encode_frame(f, CODEC_BINARY) for f in frames)
+
+    for _ in range(300):
+        corrupt = bytearray(clean)
+        pos = rng.randrange(len(corrupt))
+        corrupt[pos] ^= 1 << rng.randrange(8)
+
+        decoder = StreamDecoder(CODEC_BINARY)
+        decoder.feed(bytes(corrupt))
+        # Each decoded frame consumes at least its 8-byte header, so this
+        # bound can only trip on a genuinely stuck decoder.
+        pull_limit = len(corrupt) // 8 + 1
+        pulled = 0
+        try:
+            while decoder.next_message() is not None:
+                pulled += 1
+                assert pulled <= pull_limit, "decoder stuck in a loop"
+        except ProtocolError:
+            pass  # loud failure is the contract
