@@ -86,20 +86,86 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _connect_errors():
+    from repro.core.errors import SimFSError
+
+    return (SimFSError, OSError)
+
+
+def _metric_lines(metrics: dict) -> list[str]:
+    lines = []
+    for name in sorted(metrics):
+        series = metrics[name]
+        if not isinstance(series, dict):
+            continue
+        if series.get("type") == "histogram":
+            lines.append(
+                f"  {name}: count={series.get('count', 0)}"
+                f" p50={series.get('p50')} p99={series.get('p99')}"
+            )
+        else:
+            lines.append(f"  {name} = {series.get('value')}")
+    return lines
+
+
 def _cmd_dv_stats(args: argparse.Namespace) -> int:
     from repro.client.dvlib import fetch_stats
 
-    print(json.dumps(fetch_stats(args.host, args.port), indent=1, sort_keys=True))
+    try:
+        stats = fetch_stats(args.host, args.port)
+    except _connect_errors() as exc:
+        # DVConnectionLost already names the endpoint; don't repeat it.
+        detail = str(exc) if "cannot reach" in str(exc) else (
+            f"cannot reach DV at {args.host}:{args.port}: {exc}")
+        print(f"simfs-ctl: {detail}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(stats, indent=1, sort_keys=True))
+        return 0
+    server = stats.get("server") or {}
+    print(f"DV at {args.host}:{args.port}"
+          f" mode={server.get('mode', '?')}"
+          f" clients={server.get('connected_clients', '?')}")
+    for entry in stats.get("contexts") or []:
+        fields = ", ".join(
+            f"{k}={v}" for k, v in sorted(entry.items()) if k != "context"
+        )
+        print(f" context {entry.get('context')}: {fields}")
+    print(" metrics:")
+    for line in _metric_lines(stats.get("metrics") or {}):
+        print(line)
     return 0
 
 
 def _cmd_cluster_status(args: argparse.Namespace) -> int:
     from repro.client.dvlib import TcpConnection
 
-    with TcpConnection(args.host, args.port, {}, {}) as conn:
-        reply = conn.call({"op": "cluster"})
+    try:
+        with TcpConnection(args.host, args.port, {}, {}) as conn:
+            reply = conn.call({"op": "cluster"})
+    except _connect_errors() as exc:
+        detail = str(exc) if "cannot reach" in str(exc) else (
+            f"cannot reach node at {args.host}:{args.port}: {exc}")
+        print(f"simfs-ctl: {detail}", file=sys.stderr)
+        return 1
     payload = {k: v for k, v in reply.items() if k not in ("op", "req", "error")}
-    print(json.dumps(payload, indent=1, sort_keys=True))
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    view = payload.get("cluster") or {}
+    print(f"node {view.get('self')} epoch={view.get('epoch')}"
+          f" generation={view.get('generation')}")
+    for peer in view.get("nodes") or []:
+        state = "alive" if peer.get("alive") else "dead"
+        data = peer.get("data") or 0
+        extra = f" data_port={data}" if data else ""
+        print(f" peer {peer.get('id')} {peer.get('host')}:{peer.get('port')}"
+              f" {state}{extra}")
+    for name, owner in sorted((view.get("contexts") or {}).items()):
+        print(f" context {name} -> {owner}")
+    print(" metrics:")
+    for line in _metric_lines(payload.get("metrics") or {}):
+        print(line)
     return 0
 
 
@@ -146,12 +212,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7878)
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw stats payload as JSON")
     p.set_defaults(func=_cmd_dv_stats)
 
     p = sub.add_parser("cluster-status",
                        help="print a cluster node's ring/membership view")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7878)
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw cluster payload as JSON")
     p.set_defaults(func=_cmd_cluster_status)
 
     args = parser.parse_args(argv)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import threading
 
 from repro.client.dvlib import DVConnection, _error_from_code
-from repro.core.errors import ErrorCode, SimFSError
+from repro.core.errors import ErrorCode, InvalidArgumentError, SimFSError
 from repro.core.status import AcquireRequest, FileState, Status
 from repro.simio import DataFile, sio_open
 
@@ -160,6 +160,28 @@ class SimFSSession:
     def bitrep(self, filename: str) -> bool:
         """``SIMFS_Bitrep``: does the on-disk file match the initial run?"""
         return self.connection.bitrep(self.context, filename)
+
+    def fetch_file(self, filename: str, dest: str, *, resume: bool = True):
+        """Pull one of this context's files over the bulk data plane into
+        ``dest`` (chunked, resumable, checksum-verified).  Requires a
+        connection flavour with a data plane (:class:`TcpConnection` to a
+        daemon advertising one); returns a ``FetchResult``."""
+        fetch = getattr(self.connection, "fetch_file", None)
+        if not callable(fetch):
+            raise InvalidArgumentError(
+                "this connection flavour has no bulk data plane"
+            )
+        return fetch(self.context, filename, dest, resume=resume)
+
+    def fetch_context(self, dest_dir: str, *, resume: bool = True) -> dict:
+        """Pull every available output file of this context into
+        ``dest_dir``; returns ``{filename: FetchResult}``."""
+        fetch = getattr(self.connection, "fetch_context", None)
+        if not callable(fetch):
+            raise InvalidArgumentError(
+                "this connection flavour has no bulk data plane"
+            )
+        return fetch(self.context, dest_dir, resume=resume)
 
     def reconnect(self) -> None:
         """Re-establish the session after a :class:`DVConnectionLost`.

@@ -33,6 +33,7 @@ from repro.core.errors import (
     DETAIL_ALREADY_CONNECTED,
     DVConnectionLost,
     ErrorCode,
+    FileNotInContextError,
     InvalidArgumentError,
     RestartFailedError,
     SimFSError,
@@ -528,6 +529,81 @@ class TcpConnection(DVConnection):
 
     def stats(self) -> dict:
         return dict(self._rpc({"op": "stats"})["stats"])
+
+    # -- bulk data plane ---------------------------------------------------#
+    def fetch_info(self, context: str, filename: str | None = None) -> dict:
+        """Ask the control plane where a context file can be pulled from.
+
+        Routable: whichever daemon this connection reaches forwards the
+        question to the context's owner, so the reply's ``data_host``/
+        ``data_port`` name the owner's data plane.  Without ``filename``
+        the reply enumerates the context's available output files.
+        """
+        message = {"op": "fetch_info", "context": context}
+        if filename is not None:
+            message["file"] = filename
+        return self._rpc(message)
+
+    def fetch_file(
+        self,
+        context: str,
+        filename: str,
+        dest: str,
+        *,
+        resume: bool = True,
+        timeout: float = 60.0,
+    ):
+        """Pull one context file over the bulk data plane into ``dest``.
+
+        The transfer is chunked, resumable (a leftover ``dest.part`` from
+        an interrupted pull continues from its offset) and verified
+        against the server's whole-file SHA-256 before the rename into
+        place.  Returns a :class:`repro.data.client.FetchResult`.
+        """
+        from repro.data.client import DataClient
+
+        info = self.fetch_info(context, filename)
+        if not info.get("exists"):
+            raise FileNotInContextError(
+                f"file {filename!r} has no bytes to fetch in {context!r}"
+            )
+        host, port = info.get("data_host"), info.get("data_port")
+        if not host or not port:
+            raise ConnectionLostError(
+                f"context {context!r}'s owner advertises no data plane"
+            )
+        with DataClient(host, port, timeout=timeout) as client:
+            return client.fetch(context, filename, dest, resume=resume)
+
+    def fetch_context(
+        self,
+        context: str,
+        dest_dir: str,
+        *,
+        resume: bool = True,
+        timeout: float = 60.0,
+    ) -> dict:
+        """Pull every available output file of ``context`` into
+        ``dest_dir``; returns ``{filename: FetchResult}``."""
+        from repro.data.client import DataClient
+
+        info = self.fetch_info(context)
+        host, port = info.get("data_host"), info.get("data_port")
+        names = list(info.get("files", []))
+        results: dict = {}
+        if not names:
+            return results
+        if not host or not port:
+            raise ConnectionLostError(
+                f"context {context!r}'s owner advertises no data plane"
+            )
+        os.makedirs(dest_dir, exist_ok=True)
+        with DataClient(host, port, timeout=timeout) as client:
+            for name in names:
+                results[name] = client.fetch(
+                    context, name, os.path.join(dest_dir, name), resume=resume
+                )
+        return results
 
     def storage_path(self, context: str, filename: str) -> str:
         return os.path.join(self._storage_dirs[context], filename)

@@ -39,12 +39,15 @@ class PeerInfo:
     alive: bool = True
     last_seen: float = 0.0
     missed: int = 0
+    #: The node's bulk data-plane port (0 = no data plane advertised).
+    data_port: int = 0
 
     def wire(self) -> dict:
         """JSON form carried inside ``gossip`` frames."""
         return {
             "id": self.node_id, "host": self.host, "port": self.port,
             "gen": self.generation, "alive": self.alive,
+            "data": self.data_port,
         }
 
 
@@ -67,20 +70,24 @@ class PeerTable:
     # ------------------------------------------------------------------ #
     def upsert(
         self, node_id: str, host: str, port: int,
-        generation: int = 1, now: float = 0.0,
+        generation: int = 1, now: float = 0.0, data_port: int = 0,
     ) -> bool:
         """Add or refresh a peer (seed configuration, gossip discovery)."""
         known = self.peers.get(node_id)
         if known is None:
             self.peers[node_id] = PeerInfo(
-                node_id, host, port, generation, last_seen=now
+                node_id, host, port, generation, last_seen=now,
+                data_port=data_port,
             )
             return True
         if generation > known.generation:
             self.peers[node_id] = PeerInfo(
-                node_id, host, port, generation, last_seen=now
+                node_id, host, port, generation, last_seen=now,
+                data_port=data_port,
             )
             return True
+        if data_port and not known.data_port:
+            known.data_port = data_port
         return False
 
     def merge_view(self, view: list[dict], now: float = 0.0) -> bool:
@@ -98,20 +105,28 @@ class PeerTable:
                 self.peers[node_id] = PeerInfo(
                     node_id, str(entry.get("host", "")), int(entry.get("port", 0)),
                     generation, alive=alive, last_seen=now,
+                    data_port=int(entry.get("data", 0)),
                 )
                 changed = True
             elif generation > known.generation:
                 known.generation = generation
                 known.host = str(entry.get("host", known.host))
                 known.port = int(entry.get("port", known.port))
+                known.data_port = int(entry.get("data", known.data_port))
                 if known.alive != alive:
                     known.alive = alive
                     changed = True
                 known.missed = 0
                 known.last_seen = now
-            elif generation == known.generation and known.alive and not alive:
-                known.alive = False  # death rumor sticks
-                changed = True
+            elif generation == known.generation:
+                if not known.data_port and entry.get("data"):
+                    # Same-generation refinement: learn a peer's data port
+                    # from gossip (a seed entry predates the peer binding
+                    # its data plane).
+                    known.data_port = int(entry.get("data", 0))
+                if known.alive and not alive:
+                    known.alive = False  # death rumor sticks
+                    changed = True
         return changed
 
     def view(self) -> list[dict]:

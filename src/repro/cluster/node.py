@@ -37,6 +37,9 @@ same replay for its own captured waiters before unregistering the shard.
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
@@ -50,10 +53,13 @@ from repro.core.errors import (
     DETAIL_NOT_ATTACHED,
     DVConnectionLost,
     ErrorCode,
+    FileNotInContextError,
     InvalidArgumentError,
     ProtocolError,
     SimFSError,
 )
+from repro.data.client import DataClient
+from repro.data.server import DataServer
 from repro.dv.coordinator import Notification
 from repro.dv.protocol import OP_FWD, OP_GOSSIP, make_fwd, unwrap_fwd
 from repro.dv.server import _ROUTABLE_OPS, DVServer
@@ -120,6 +126,8 @@ class ClusterNode:
         mode: str = "selector",
         workers: int | None = None,
         engine_workers: int | None = None,
+        data_port: int = 0,
+        data_link_rate: float | None = None,
     ) -> None:
         self.node_id = node_id
         self.heartbeat_interval = heartbeat_interval
@@ -128,6 +136,22 @@ class ClusterNode:
         # default: a forwarded op parks a worker on a peer round trip,
         # and gossip merges run there too.
         self.server = DVServer(host, port, mode=mode, workers=workers or 4)
+        #: Bulk data plane: bound here (so the port is known before the
+        #: engine forks and before hellos advertise it), threads started
+        #: in :meth:`start`.  Serves every context in the catalog from its
+        #: PFS directory; files this node cannot resolve locally are
+        #: proxied one hop from the ring owner's data port into a spool.
+        self.data = DataServer(
+            host, data_port,
+            link_rate=data_link_rate,
+            metrics=self.server.metrics,
+            resolver=self._data_resolve,
+            lister=self._data_list,
+            upstream=self._data_upstream,
+        )
+        self._spool: str | None = None
+        self._spool_lock = threading.Lock()
+        self.server.set_data_endpoint(host, self.data.port)
         #: Multi-core engine (``engine_workers > 1``): contexts this node
         #: owns are served by a shared-nothing executor pool instead of
         #: the node's own coordinator; the node stays the cluster-facing
@@ -141,6 +165,7 @@ class ClusterNode:
                 accept="none",
                 rpc_timeout=rpc_timeout,
                 ready_router=self._engine_ready,
+                data_endpoint=(host, self.data.port),
             )
         self.metrics = self.server.metrics
         self.ring = HashRing(vnodes)
@@ -264,11 +289,13 @@ class ClusterNode:
             # (server loop, heartbeats): forking a multithreaded parent
             # risks inheriting locks mid-flight.
             self.engine.start()
+        self.data.start()
         self.server.start()
         host, port = self.server.address
         with self._lock:
             me = self.table.peers[self.node_id]
             me.host, me.port = host, port
+            me.data_port = self.data.port
         self._hb_thread = threading.Thread(
             target=self._heartbeat_loop,
             name=f"cluster-hb-{self.node_id}",
@@ -291,6 +318,10 @@ class ClusterNode:
         self.server.stop(drain_timeout=drain_timeout)
         if self.engine is not None:
             self.engine.stop(drain_timeout=drain_timeout)
+        self.data.stop()
+        if self._spool is not None:
+            shutil.rmtree(self._spool, ignore_errors=True)
+            self._spool = None
 
     def __enter__(self) -> "ClusterNode":
         self.start()
@@ -904,6 +935,73 @@ class ClusterNode:
                     if self.engine is not None else None
                 ),
             }
+
+    # ------------------------------------------------------------------ #
+    # Data plane (callbacks run on DataServer worker threads)
+    # ------------------------------------------------------------------ #
+    def _data_resolve(self, context: str, filename: str) -> str:
+        """Map a fetch to a file path: the context's PFS output dir first,
+        then this node's proxy spool (files pulled from the owner)."""
+        with self._lock:
+            spec = self._specs.get(context)
+        if spec is None:
+            raise FileNotInContextError(f"unknown context {context!r}")
+        base = os.path.realpath(spec.output_dir)
+        path = os.path.realpath(os.path.join(base, filename))
+        if os.path.commonpath([path, base]) != base:
+            raise FileNotInContextError(
+                f"file {filename!r} escapes context directory"
+            )
+        if not os.path.isfile(path) and self._spool is not None:
+            spooled = os.path.join(self._spool, context, filename)
+            if os.path.isfile(spooled):
+                return spooled
+        return path
+
+    def _data_list(self, context: str) -> list[str]:
+        with self._lock:
+            spec = self._specs.get(context)
+        if spec is None:
+            raise FileNotInContextError(f"unknown context {context!r}")
+        naming = spec.context.driver.naming
+        try:
+            return sorted(
+                n for n in os.listdir(spec.output_dir)
+                if naming.is_output(n)
+                and os.path.isfile(os.path.join(spec.output_dir, n))
+            )
+        except OSError:
+            return []
+
+    def _data_upstream(self, context: str, filename: str) -> str | None:
+        """One-hop proxy: pull a non-local file from the ring owner's data
+        port into this node's spool and serve it from there."""
+        with self._lock:
+            owner = self.ring.owner(context)
+            peer = self.table.get(owner) if owner else None
+        if (
+            peer is None
+            or peer.node_id == self.node_id
+            or not peer.alive
+            or not peer.data_port
+        ):
+            return None
+        with self._spool_lock:
+            if self._spool is None:
+                self._spool = tempfile.mkdtemp(
+                    prefix=f"simfs-spool-{self.node_id}-"
+                )
+            dest = os.path.join(self._spool, context, filename)
+            if os.path.isfile(dest):
+                return dest
+            os.makedirs(os.path.dirname(dest), exist_ok=True)
+            try:
+                with DataClient(peer.host, peer.data_port,
+                                timeout=self.rpc_timeout) as client:
+                    client.fetch(context, filename, dest)
+            except SimFSError:
+                return None
+            return dest
 
     def _drop_hook(self, client_id: str) -> None:
         """DVServer hook: a connection died.  For a peer link, disconnect

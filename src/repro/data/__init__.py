@@ -1,0 +1,51 @@
+"""Bulk data plane: chunked zero-copy context-file transfer.
+
+The control plane (``repro.dv``/``repro.cluster``) coordinates *which*
+files exist and when they are ready; this package moves the bytes.  Each
+node (or multi-core pool) runs a :class:`DataServer` on its own data port;
+clients pull files with :class:`DataClient`, discovering the owning node's
+endpoint via the routable ``fetch_info`` control-plane op.  Bandwidth on a
+link is arbitrated by :class:`BandwidthScheduler` (token bucket + deficit
+round-robin + a strict-priority control lane); the DES mirror is
+``repro.des.components.VirtualDataPlane``.
+"""
+
+from repro.data.client import DataClient, FetchResult, TransferChecksumError
+from repro.data.protocol import (
+    DEFAULT_CHUNK,
+    KIND_CTRL,
+    KIND_DATA,
+    MAX_FRAME,
+    DataFrameDecoder,
+    decode_ctrl,
+    encode_ctrl,
+    encode_data_header,
+)
+from repro.data.scheduler import (
+    PRIO_BULK,
+    PRIO_CONTROL,
+    BandwidthScheduler,
+    TokenBucket,
+    max_min_rates,
+)
+from repro.data.server import DataServer
+
+__all__ = [
+    "DEFAULT_CHUNK",
+    "KIND_CTRL",
+    "KIND_DATA",
+    "MAX_FRAME",
+    "PRIO_BULK",
+    "PRIO_CONTROL",
+    "BandwidthScheduler",
+    "DataClient",
+    "DataFrameDecoder",
+    "DataServer",
+    "FetchResult",
+    "TokenBucket",
+    "TransferChecksumError",
+    "decode_ctrl",
+    "encode_ctrl",
+    "encode_data_header",
+    "max_min_rates",
+]

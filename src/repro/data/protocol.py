@@ -1,0 +1,126 @@
+"""Framing for the bulk data plane.
+
+The data plane speaks its own tiny protocol, deliberately simpler than the
+control-plane codec in :mod:`repro.dv.protocol`: every frame is an 8-byte
+header ``!BBHI`` — magic ``0xDA``, kind, channel, payload length — followed
+by the payload.  Two kinds exist:
+
+* ``KIND_CTRL`` (0): a JSON object (fetch requests, transfer metadata,
+  ping/pong, errors).  Control frames ride a strict-priority lane on the
+  server: they are flushed before any queued bulk bytes.
+* ``KIND_DATA`` (1): a raw chunk of file bytes for the transfer identified
+  by ``channel``.  The header is encoded separately from the body so the
+  server can push the body straight from the page cache with
+  ``os.sendfile`` — the payload never passes through Python.
+
+``channel`` scopes concurrent transfers multiplexed on one connection; the
+client picks it in the ``fetch`` request and the server echoes it on every
+``fetch_start``/``DATA``/``fetch_end`` frame of that transfer.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.core.errors import ProtocolError
+
+__all__ = [
+    "DEFAULT_CHUNK",
+    "DataFrameDecoder",
+    "HEADER",
+    "KIND_CTRL",
+    "KIND_DATA",
+    "MAGIC",
+    "MAX_FRAME",
+    "decode_ctrl",
+    "encode_ctrl",
+    "encode_data_header",
+]
+
+MAGIC = 0xDA
+KIND_CTRL = 0
+KIND_DATA = 1
+
+#: Header layout: magic, kind, channel, payload length.
+HEADER = struct.Struct("!BBHI")
+
+#: Default bulk chunk size; one DATA frame per chunk.
+DEFAULT_CHUNK = 256 * 1024
+
+#: Hard per-frame cap, matching the control plane's discipline: a peer
+#: announcing a larger payload is malformed, not merely greedy.
+MAX_FRAME = 1 << 20
+
+
+def encode_ctrl(message: dict) -> bytes:
+    """Encode a control message (header + JSON payload) as one buffer."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"data-plane control frame exceeds maximum size "
+            f"({len(payload)} > {MAX_FRAME})"
+        )
+    channel = int(message.get("channel", 0)) & 0xFFFF
+    return HEADER.pack(MAGIC, KIND_CTRL, channel, len(payload)) + payload
+
+
+def encode_data_header(channel: int, length: int) -> bytes:
+    """Header for a DATA frame whose body follows out-of-band (sendfile)."""
+    if not 0 < length <= MAX_FRAME:
+        raise ProtocolError(f"data frame length {length} out of range")
+    return HEADER.pack(MAGIC, KIND_DATA, channel & 0xFFFF, length)
+
+
+class DataFrameDecoder:
+    """Incremental decoder for the data-plane framing.
+
+    Feed raw socket bytes with :meth:`feed`; it yields
+    ``(kind, channel, payload)`` tuples.  DATA payloads are returned as
+    ``bytes`` of the complete frame — the client side is the only consumer
+    of DATA frames and writes them straight to disk, so there is no
+    partial-frame surface to expose.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[tuple[int, int, bytes]]:
+        self._buf += data
+        frames: list[tuple[int, int, bytes]] = []
+        while True:
+            if len(self._buf) < HEADER.size:
+                return frames
+            magic, kind, channel, length = HEADER.unpack_from(self._buf)
+            if magic != MAGIC:
+                raise ProtocolError(
+                    f"bad data-plane magic 0x{magic:02x} (want 0x{MAGIC:02x})"
+                )
+            if kind not in (KIND_CTRL, KIND_DATA):
+                raise ProtocolError(f"unknown data-plane frame kind {kind}")
+            if length > MAX_FRAME:
+                raise ProtocolError(
+                    f"data-plane frame exceeds maximum size "
+                    f"({length} > {MAX_FRAME})"
+                )
+            end = HEADER.size + length
+            if len(self._buf) < end:
+                return frames
+            payload = bytes(self._buf[HEADER.size:end])
+            del self._buf[:end]
+            frames.append((kind, channel, payload))
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buf)
+
+
+def decode_ctrl(payload: bytes) -> dict:
+    """Parse a CTRL payload, normalising JSON failures to ProtocolError."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed data-plane control frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("data-plane control frame must be a JSON object")
+    return message

@@ -1,7 +1,13 @@
 """Virtual-time mode: deterministic DES engine, the coordinator wired to
 it, and the Sec. VI experiment runners (Figs. 16-19)."""
 
-from repro.des.components import DESExecutor, VirtualAnalysis, VirtualSimFS
+from repro.des.components import (
+    DESExecutor,
+    VirtualAnalysis,
+    VirtualDataPlane,
+    VirtualSimFS,
+    VirtualTransfer,
+)
 from repro.des.engine import DESEngine, EventHandle
 from repro.des.experiment import (
     LatencyPoint,
@@ -17,7 +23,9 @@ __all__ = [
     "LatencyPoint",
     "ScalingPoint",
     "VirtualAnalysis",
+    "VirtualDataPlane",
     "VirtualSimFS",
+    "VirtualTransfer",
     "latency_experiment",
     "scaling_experiment",
 ]

@@ -14,10 +14,13 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
+import itertools
+
 from repro.cluster.membership import PeerTable
 from repro.cluster.ring import HashRing
 from repro.core.context import SimulationContext
 from repro.core.errors import ContextError, InvalidArgumentError
+from repro.data.scheduler import PRIO_BULK, PRIO_CONTROL, max_min_rates
 from repro.des.engine import DESEngine, EventHandle
 from repro.dv.coordinator import DVCoordinator, Notification, RunningSim
 from repro.metrics import MetricsRegistry
@@ -28,6 +31,8 @@ __all__ = [
     "VirtualSimFS",
     "VirtualClusterNode",
     "VirtualCluster",
+    "VirtualTransfer",
+    "VirtualDataPlane",
 ]
 
 
@@ -520,3 +525,210 @@ class VirtualCluster:
         analysis = self._analyses.get(notification.client_id)
         if analysis is not None:
             analysis.on_notification(notification)
+
+
+# --------------------------------------------------------------------- #
+# Virtual data plane: the bulk transfer tier on the virtual clock
+# --------------------------------------------------------------------- #
+class VirtualTransfer:
+    """One in-flight (or finished) transfer on the virtual data plane."""
+
+    def __init__(
+        self,
+        transfer_id: int,
+        path: tuple[str, ...],
+        size: float,
+        priority: int,
+        started: float,
+        on_complete: Callable[["VirtualTransfer"], None] | None,
+    ) -> None:
+        self.transfer_id = transfer_id
+        self.path = path
+        self.size = float(size)
+        self.priority = priority
+        self.remaining = float(size)
+        self.started = started
+        self.finished: float | None = None
+        self.on_complete = on_complete
+
+    @property
+    def done(self) -> bool:
+        return self.finished is not None
+
+    @property
+    def seconds(self) -> float:
+        if self.finished is None:
+            raise InvalidArgumentError("transfer has not completed")
+        return self.finished - self.started
+
+    @property
+    def throughput(self) -> float:
+        """Average bytes/s over the transfer's lifetime."""
+        return self.size / max(1e-12, self.seconds)
+
+
+class VirtualDataPlane:
+    """The bulk data plane in virtual time — the DES mirror of
+    :class:`repro.data.DataServer` + :class:`~repro.data.BandwidthScheduler`.
+
+    Links are named capacity pipes (bytes/s); a transfer occupies a *path*
+    of one or more links (multi-hop forwarding: an ingress proxying a
+    fetch from the ring owner traverses ``owner->ingress`` then
+    ``ingress->client``).  Bandwidth is re-shared every ``tick`` virtual
+    seconds with the same progressive-filling
+    :func:`~repro.data.scheduler.max_min_rates` the live scheduler's
+    fairness analysis uses, and the control lane mirrors the live strict
+    priority: control transfers are allocated first each tick, bulk
+    shares whatever capacity remains on each link.
+
+    Modeling choices (explicit, like :class:`VirtualCluster`):
+
+    * Rates are piecewise-constant per tick; a transfer admitted mid-tick
+      starts progressing at the next tick boundary, and completions land
+      on tick boundaries — granularity is ``tick``, so scenario sweeps
+      should size transfers in whole ticks of the expected rate.
+    * The plane stops scheduling tick events as soon as no transfer is
+      active, so ``engine.run()`` terminates with the rest of the DES.
+    * Per-link byte counters feed :meth:`utilization`; capacity a
+      finishing transfer strands inside its final tick is *not* counted
+      as moved bytes (accounting is of payload, not reservations).
+    """
+
+    def __init__(self, engine: DESEngine, tick: float = 0.01) -> None:
+        if tick <= 0:
+            raise InvalidArgumentError(f"tick must be > 0, got {tick}")
+        self.engine = engine
+        self.tick = tick
+        self._capacity: dict[str, float] = {}
+        self._active: dict[int, VirtualTransfer] = {}
+        self._ids = itertools.count(1)
+        self._ticking = False
+        self.completed: list[VirtualTransfer] = []
+        self.link_bytes: dict[str, float] = {}
+        #: virtual seconds each link spent with >= 1 transfer on it
+        self.link_busy: dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    def add_link(self, name: str, capacity: float) -> None:
+        """Declare a link with ``capacity`` bytes/s (must be > 0)."""
+        if capacity <= 0:
+            raise InvalidArgumentError(
+                f"link capacity must be > 0, got {capacity}"
+            )
+        self._capacity[name] = float(capacity)
+        self.link_bytes.setdefault(name, 0.0)
+        self.link_busy.setdefault(name, 0.0)
+
+    def links(self) -> dict[str, float]:
+        return dict(self._capacity)
+
+    def start_transfer(
+        self,
+        size: float,
+        path: Sequence[str],
+        priority: int = PRIO_BULK,
+        on_complete: Callable[[VirtualTransfer], None] | None = None,
+    ) -> VirtualTransfer:
+        """Begin moving ``size`` bytes across the links of ``path``."""
+        if size <= 0:
+            raise InvalidArgumentError(f"transfer size must be > 0, got {size}")
+        if not path:
+            raise InvalidArgumentError("transfer path needs >= 1 link")
+        for link in path:
+            if link not in self._capacity:
+                raise InvalidArgumentError(f"unknown link {link!r}")
+        transfer = VirtualTransfer(
+            next(self._ids), tuple(path), size, priority,
+            self.engine.now(), on_complete,
+        )
+        self._active[transfer.transfer_id] = transfer
+        if not self._ticking:
+            self._ticking = True
+            self.engine.schedule(self.tick, self._tick)
+        return transfer
+
+    def ping(
+        self,
+        path: Sequence[str],
+        size: float = 1024.0,
+        on_complete: Callable[[VirtualTransfer], None] | None = None,
+    ) -> VirtualTransfer:
+        """A control-lane message: tiny, strictly prioritised over bulk."""
+        return self.start_transfer(
+            size, path, priority=PRIO_CONTROL, on_complete=on_complete
+        )
+
+    # ------------------------------------------------------------------ #
+    def current_rates(self) -> dict[int, float]:
+        """Per-transfer rates for the coming tick: control first (full
+        capacities), bulk max-min shares the residual."""
+        control = {
+            t.transfer_id: t.path for t in self._active.values()
+            if t.priority == PRIO_CONTROL
+        }
+        bulk = {
+            t.transfer_id: t.path for t in self._active.values()
+            if t.priority != PRIO_CONTROL
+        }
+        rates = max_min_rates(self._capacity, control) if control else {}
+        residual = dict(self._capacity)
+        for transfer_id, rate in rates.items():
+            for link in control[transfer_id]:
+                residual[link] = max(0.0, residual[link] - rate)
+        if bulk:
+            rates.update(max_min_rates(residual, bulk))
+        return rates
+
+    def _tick(self) -> None:
+        rates = self.current_rates()
+        now = self.engine.now()
+        busy: set[str] = set()
+        finished: list[VirtualTransfer] = []
+        for transfer in self._active.values():
+            busy.update(transfer.path)
+            moved = min(
+                transfer.remaining,
+                rates.get(transfer.transfer_id, 0.0) * self.tick,
+            )
+            transfer.remaining -= moved
+            for link in transfer.path:
+                self.link_bytes[link] += moved
+            if transfer.remaining <= 1e-9:
+                transfer.remaining = 0.0
+                transfer.finished = now
+                finished.append(transfer)
+        for link in busy:
+            self.link_busy[link] += self.tick
+        for transfer in finished:
+            del self._active[transfer.transfer_id]
+            self.completed.append(transfer)
+            if transfer.on_complete is not None:
+                transfer.on_complete(transfer)
+        if self._active:
+            self.engine.schedule(self.tick, self._tick)
+        else:
+            self._ticking = False
+
+    # ------------------------------------------------------------------ #
+    def utilization(self, link: str, start: float, end: float) -> float:
+        """Fraction of ``link``'s capacity used over ``[start, end]``."""
+        if end <= start:
+            raise InvalidArgumentError("utilization window must be positive")
+        capacity = self._capacity.get(link)
+        if not capacity:
+            raise InvalidArgumentError(f"unknown link {link!r}")
+        return self.link_bytes.get(link, 0.0) / (capacity * (end - start))
+
+    def stats(self) -> dict:
+        return {
+            "links": {
+                name: {
+                    "capacity": capacity,
+                    "bytes": self.link_bytes.get(name, 0.0),
+                    "busy_seconds": self.link_busy.get(name, 0.0),
+                }
+                for name, capacity in sorted(self._capacity.items())
+            },
+            "active": len(self._active),
+            "completed": len(self.completed),
+        }

@@ -63,6 +63,9 @@ class ExecutorSpec:
     rpc_timeout: float = 10.0
     io_workers: int | None = None
     catalog: list[ExecutorCatalogEntry] = field(default_factory=list)
+    #: (host, port) of the pool's bulk data plane, advertised by this
+    #: executor's ``fetch_info`` replies (None = no data plane).
+    data_endpoint: tuple[str, int] | None = None
 
 
 def run_executor(spec: ExecutorSpec, ctl_sock: socket.socket) -> None:
@@ -87,6 +90,8 @@ def run_executor(spec: ExecutorSpec, ctl_sock: socket.socket) -> None:
     peer_listener.bind(spec.unix_path)
     peer_listener.listen(128)
     server.add_listener(peer_listener, role="peer")
+    if spec.data_endpoint is not None:
+        server.set_data_endpoint(*spec.data_endpoint)
 
     catalog = {entry.context.name: entry for entry in spec.catalog}
     gateway = ExecutorGateway(

@@ -106,6 +106,7 @@ class MultiCoreServer:
         io_workers: int | None = None,
         spawn_timeout: float = 30.0,
         ready_router=None,
+        data_endpoint: tuple[str, int] | None = None,
     ) -> None:
         if accept is None:
             accept = pick_accept_mode()
@@ -123,6 +124,10 @@ class MultiCoreServer:
         self._io_workers = io_workers
         self._spawn_timeout = spawn_timeout
         self._start_method = start_method
+        #: Bulk data plane advertised by every executor's ``fetch_info``
+        #: (the pool shares the embedding node's data port; specs ship it
+        #: at spawn time).  Settable until the first spawn.
+        self._data_endpoint = data_endpoint
         self.metrics = MetricsRegistry()
         self._m_restarts = self.metrics.counter("sup.executor_restarts")
         self._m_alive = self.metrics.gauge("sup.executors_alive")
@@ -176,6 +181,15 @@ class MultiCoreServer:
         )
         if active:
             self._active.add(context.name)
+
+    def set_data_endpoint(self, host: str, port: int) -> None:
+        """Advertise a data plane through every executor's ``fetch_info``.
+        Must precede :meth:`start` (specs ship at spawn time)."""
+        if self._running:
+            raise InvalidArgumentError(
+                "set_data_endpoint must precede start()"
+            )
+        self._data_endpoint = (host, int(port))
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -318,6 +332,7 @@ class MultiCoreServer:
             rpc_timeout=self.rpc_timeout,
             io_workers=self._io_workers,
             catalog=list(self._catalog.values()),
+            data_endpoint=self._data_endpoint,
         )
         process = self._mp_ctx.Process(
             target=run_executor,

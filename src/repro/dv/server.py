@@ -48,7 +48,13 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.context import SimulationContext
-from repro.core.errors import ErrorCode, InvalidArgumentError, ProtocolError, SimFSError
+from repro.core.errors import (
+    ContextError,
+    ErrorCode,
+    InvalidArgumentError,
+    ProtocolError,
+    SimFSError,
+)
 from repro.dv.coordinator import DVCoordinator, Notification
 from repro.dv.launcher import ThreadedLauncher
 from repro.dv.protocol import (
@@ -82,6 +88,14 @@ _COLLECT_MAX = 1 << 18
 _INBOX_HIGH = 1024
 _OUTBUF_HIGH = 1 << 22
 
+#: Hard cap on a connection's queued output.  Read-side backpressure
+#: (``paused``) only throttles a peer's *requests*; server-initiated
+#: fan-out (``ready`` notifications) keeps landing in ``outbuf`` no matter
+#: how slowly the peer reads.  A connection that lets its backlog grow
+#: past this is stalled or dead and gets disconnected instead of growing
+#: the buffer without bound.
+_OUTBUF_HARD = 4 * _OUTBUF_HIGH
+
 
 #: Ops that can trigger storage-area eviction (and hence ``os.unlink`` on
 #: the PFS) when a context is capacity-bounded.
@@ -90,7 +104,8 @@ _EVICTING_OPS = frozenset({"release", "wclose", "finalize"})
 #: Context-addressed client ops a cluster gateway may forward to the
 #: owning peer when the named context is not registered locally.
 _ROUTABLE_OPS = frozenset(
-    {"open", "acquire", "release", "wclose", "bitrep", "attach", "finalize"}
+    {"open", "acquire", "release", "wclose", "bitrep", "attach", "finalize",
+     "fetch_info"}
 )
 
 #: Per-op service-time buckets (seconds): finer than DEFAULT_BUCKETS at the
@@ -245,7 +260,12 @@ class DVServer:
             "finalize": self._op_finalize,
             "batch": self._op_batch,
             "stats": self._op_stats,
+            "fetch_info": self._op_fetch_info,
         }
+        # (host, port) of the bulk data plane serving this daemon's files,
+        # advertised through the fetch_info op (see set_data_endpoint).
+        self._data_endpoint: tuple[str, int] | None = None
+        self._m_slow_close = self.metrics.counter("wire.slow_disconnects")
 
     # ------------------------------------------------------------------ #
     # Configuration
@@ -313,6 +333,15 @@ class DVServer:
         if name == "hello":
             raise InvalidArgumentError("the hello handshake cannot be replaced")
         self._extra_ops[name] = _ExtraOp(handler, reply_op, needs_worker)
+
+    def set_data_endpoint(self, host: str, port: int) -> None:
+        """Advertise the bulk data plane serving this daemon's context
+        files; ``fetch_info`` replies carry it so clients know where to
+        pull bytes from."""
+        self._data_endpoint = (host, int(port))
+
+    def data_endpoint(self) -> tuple[str, int] | None:
+        return self._data_endpoint
 
     def set_cluster_hooks(
         self,
@@ -735,7 +764,9 @@ class DVServer:
         any op the cluster gateway must forward to a peer blocks on that
         round trip."""
         op = message.get("op")
-        if op == "bitrep" or (self._evicting_inline_unsafe and op in _EVICTING_OPS):
+        if op in ("bitrep", "fetch_info") or (
+            self._evicting_inline_unsafe and op in _EVICTING_OPS
+        ):
             return True
         extra = self._extra_ops.get(op)
         if extra is not None:
@@ -1285,6 +1316,45 @@ class DVServer:
             results.append(payload)
         return {"results": results}
 
+    def _op_fetch_info(self, conn: _ClientConn, message: dict) -> dict:
+        """Where (and whether) a context file can be pulled over the data
+        plane.  Routable: asked of a non-owner, the gateway forwards it to
+        the owning node/executor, whose reply names *its* data endpoint —
+        which is exactly the redirect the client needs.  Without ``file``
+        the reply lists the context's available output files instead
+        (the ``fetch_context`` enumeration)."""
+        context = message["context"]
+        if not self.coordinator.has_context(context):
+            raise ContextError(f"unknown context {context!r}")
+        out_dir = self.launcher.output_dir(context)
+        host, port = self._data_endpoint or (None, 0)
+        payload: dict = {
+            "context": context,
+            "data_host": host,
+            "data_port": port,
+        }
+        filename = message.get("file")
+        if filename is None:
+            naming = self.coordinator.shard(context).context.driver.naming
+            try:
+                names = sorted(
+                    n for n in os.listdir(out_dir)
+                    if naming.is_output(n)
+                    and os.path.isfile(os.path.join(out_dir, n))
+                )
+            except OSError:
+                names = []
+            payload["files"] = names
+            return payload
+        path = self.storage_path(context, filename)
+        try:
+            payload["size"] = os.path.getsize(path)
+            payload["exists"] = True
+        except OSError:
+            payload["size"] = 0
+            payload["exists"] = False
+        return payload
+
     def _op_stats(self, conn: _ClientConn, message: dict) -> dict:
         snapshot = self.coordinator.stats_snapshot()
         with self._clients_lock:
@@ -1397,7 +1467,13 @@ class DVServer:
                     conn.outbuf += memoryview(data)[sent:]
             else:
                 conn.outbuf += data
-            if need_wake:  # OSError path: request teardown
+                if len(conn.outbuf) >= _OUTBUF_HARD:
+                    # Fan-out to a peer that stopped reading: cut it loose
+                    # rather than buffer without bound (read-side pause
+                    # cannot help here — the bytes are server-initiated).
+                    self._m_slow_close.inc()
+                    need_wake = True
+            if need_wake:  # OSError/overflow path: request teardown
                 self._close_pending.append(conn)
             elif conn.outbuf and not conn.flush_requested:
                 conn.flush_requested = True
@@ -1507,6 +1583,8 @@ def main(argv: list[str] | None = None) -> int:
             suspect_after=int(config.get("suspect_after", 3)),
             mode=config.get("mode", "selector"),
             engine_workers=workers,
+            data_port=int(config.get("data_port", 0)),
+            data_link_rate=config.get("data_link_rate"),
         )
         server = node.server
     elif workers is not None and workers > 1:
@@ -1523,6 +1601,19 @@ def main(argv: list[str] | None = None) -> int:
             config.get("port", 7878),
             mode=config.get("mode", "selector"),
         )
+    # Standalone data plane (cluster nodes carry their own): bind it now
+    # so multi-core executors learn the endpoint before they spawn.
+    data_server = None
+    if node is None and config.get("data_port") is not None:
+        from repro.data.server import DataServer
+
+        data_server = DataServer(
+            config.get("host", "127.0.0.1"),
+            int(config["data_port"]),
+            link_rate=config.get("data_link_rate"),
+            metrics=getattr(server, "metrics", None),
+        )
+        server.set_data_endpoint(data_server.host, data_server.port)
     drivers = {"cosmo": CosmoDriver, "flash": FlashDriver, "synthetic": SyntheticDriver}
     for spec in config.get("contexts", []):
         cc = ContextConfig(
@@ -1544,8 +1635,15 @@ def main(argv: list[str] | None = None) -> int:
             node.add_context(context, spec["output_dir"], spec["restart_dir"])
         else:
             server.add_context(context, spec["output_dir"], spec["restart_dir"])
+            if data_server is not None:
+                data_server.add_context(spec["name"], spec["output_dir"])
     service = node if node is not None else server
     service.start()
+    if data_server is not None:
+        data_server.start()
+        print(f"simfs-dv data plane on {data_server.host}:{data_server.port}")
+    elif node is not None:
+        print(f"simfs-dv data plane on {node.data.host}:{node.data.port}")
     host, port = server.address
     if node is not None:
         engine = f" ({workers}-core engine)" if node.engine is not None else ""
@@ -1560,4 +1658,6 @@ def main(argv: list[str] | None = None) -> int:
         threading.Event().wait()
     except KeyboardInterrupt:
         service.stop()
+        if data_server is not None:
+            data_server.stop()
     return 0

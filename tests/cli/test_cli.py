@@ -96,10 +96,31 @@ class TestDvStats:
         server.start()
         try:
             host, port = server.address
-            code = main(["dv-stats", "--host", host, "--port", str(port)])
+            code = main([
+                "dv-stats", "--host", host, "--port", str(port), "--json",
+            ])
             assert code == 0
             stats = json.loads(capsys.readouterr().out)
             assert [c["context"] for c in stats["contexts"]] == ["cli"]
             assert "metrics" in stats
+            # Default output is a human summary, not JSON.
+            code = main(["dv-stats", "--host", host, "--port", str(port)])
+            assert code == 0
+            printed = capsys.readouterr().out
+            assert printed.startswith("DV at ")
+            assert " context cli:" in printed
+            with pytest.raises(json.JSONDecodeError):
+                json.loads(printed)
         finally:
             server.stop()
+
+    @pytest.mark.parametrize("command", ["dv-stats", "cluster-status"])
+    def test_connection_failure_exits_nonzero(self, command, capsys):
+        from tests.integration.conftest import free_port
+
+        port = free_port()  # nothing listening here
+        code = main([command, "--host", "127.0.0.1", "--port", str(port)])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "cannot reach" in captured.err

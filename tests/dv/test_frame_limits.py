@@ -1,0 +1,132 @@
+"""Frame-size limits of both stream decoders (control and data plane):
+frames exactly at the cap decode, anything larger is a clean
+``ProtocolError`` (a protocol violation, never an OOM or a hang), and
+boundary-fuzzed chunking around the header/payload split never changes
+the decoded result."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.data import protocol as data_protocol
+from repro.data.protocol import (
+    KIND_CTRL,
+    KIND_DATA,
+    MAGIC,
+    DataFrameDecoder,
+    encode_ctrl,
+    encode_data_header,
+)
+from repro.dv.protocol import (
+    CODEC_BINARY,
+    StreamDecoder,
+    _MAX_MESSAGE,
+    encode_binary,
+)
+
+
+def max_size_json_message() -> dict:
+    """A message whose compact-JSON serialization is exactly the cap."""
+    overhead = len(json.dumps({"op": "x", "pad": ""}, separators=(",", ":")))
+    message = {"op": "x", "pad": "a" * (_MAX_MESSAGE - overhead)}
+    encoded = json.dumps(message, separators=(",", ":"))
+    assert len(encoded) == _MAX_MESSAGE
+    return message
+
+
+class TestControlPlaneLimits:
+    def test_binary_frame_at_max_size_decodes(self):
+        message = max_size_json_message()
+        decoder = StreamDecoder(CODEC_BINARY)
+        decoder.feed(encode_binary(message))
+        assert decoder.next_message() == message
+
+    def test_binary_frame_over_max_rejected_by_encoder(self):
+        message = max_size_json_message()
+        message["pad"] += "a"
+        with pytest.raises(ProtocolError, match="maximum size"):
+            encode_binary(message)
+
+    def test_binary_header_announcing_oversize_is_protocol_error(self):
+        # A malicious header claiming a huge payload must fail on the
+        # header alone — before any payload is buffered.
+        header = data_protocol.struct.Struct("!BBHI")  # same layout
+        from repro.dv.protocol import _HEADER, _MAGIC
+
+        frame = _HEADER.pack(_MAGIC, 0, 0, _MAX_MESSAGE + 1)
+        decoder = StreamDecoder(CODEC_BINARY)
+        decoder.feed(frame)
+        with pytest.raises(ProtocolError, match="maximum size"):
+            decoder.next_message()
+        assert header.size  # silence the unused-local lint
+
+    def test_legacy_unterminated_line_over_max_is_protocol_error(self):
+        decoder = StreamDecoder()
+        decoder.feed(b"x" * (_MAX_MESSAGE + 1))
+        with pytest.raises(ProtocolError, match="maximum size"):
+            decoder.next_message()
+
+    def test_legacy_buffer_at_max_still_waits_for_newline(self):
+        decoder = StreamDecoder()
+        decoder.feed(b"x" * _MAX_MESSAGE)
+        assert decoder.next_message() is None  # not an error yet
+
+    @pytest.mark.parametrize("split", [1, 7, 8, 9, 100, _MAX_MESSAGE // 2])
+    def test_boundary_fuzz_chunking_is_invisible(self, split):
+        message = max_size_json_message()
+        frame = encode_binary(message)
+        decoder = StreamDecoder(CODEC_BINARY)
+        decoder.feed(frame[:split])
+        assert decoder.next_message() is None
+        decoder.feed(frame[split:])
+        assert decoder.next_message() == message
+
+
+class TestDataPlaneLimits:
+    def test_data_header_at_max_encodes(self):
+        header = encode_data_header(7, data_protocol.MAX_FRAME)
+        frames = DataFrameDecoder().feed(
+            header + b"z" * data_protocol.MAX_FRAME
+        )
+        assert frames == [(KIND_DATA, 7, b"z" * data_protocol.MAX_FRAME)]
+
+    @pytest.mark.parametrize("length", [0, data_protocol.MAX_FRAME + 1])
+    def test_data_header_out_of_range_rejected(self, length):
+        with pytest.raises(ProtocolError, match="out of range"):
+            encode_data_header(1, length)
+
+    def test_oversized_announcement_is_protocol_error(self):
+        frame = data_protocol.HEADER.pack(
+            MAGIC, KIND_DATA, 1, data_protocol.MAX_FRAME + 1
+        )
+        with pytest.raises(ProtocolError, match="maximum size"):
+            DataFrameDecoder().feed(frame)
+
+    def test_oversized_ctrl_rejected_by_encoder(self):
+        with pytest.raises(ProtocolError, match="maximum size"):
+            encode_ctrl({"op": "x", "pad": "a" * data_protocol.MAX_FRAME})
+
+    def test_bad_magic_and_unknown_kind(self):
+        with pytest.raises(ProtocolError, match="magic"):
+            DataFrameDecoder().feed(
+                data_protocol.HEADER.pack(0x00, KIND_CTRL, 0, 0)
+            )
+        with pytest.raises(ProtocolError, match="kind"):
+            DataFrameDecoder().feed(
+                data_protocol.HEADER.pack(MAGIC, 9, 0, 0)
+            )
+
+    @pytest.mark.parametrize("split", [1, 7, 8, 9, 4096])
+    def test_boundary_fuzz_chunking_is_invisible(self, split):
+        frame = encode_ctrl({"op": "ping", "channel": 3}) + (
+            encode_data_header(3, 5) + b"hello"
+        )
+        decoder = DataFrameDecoder()
+        frames = list(decoder.feed(frame[:split]))
+        frames += decoder.feed(frame[split:])
+        assert frames == [
+            (KIND_CTRL, 3, b'{"op":"ping","channel":3}'),
+            (KIND_DATA, 3, b"hello"),
+        ]
+        assert decoder.buffered == 0

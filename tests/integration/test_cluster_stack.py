@@ -350,11 +350,18 @@ class TestClusterStatus:
         nodes, context, out, rst = cluster
         host, port = nodes["n3"].address
         assert ctl_main([
-            "cluster-status", "--host", host, "--port", str(port)
+            "cluster-status", "--host", host, "--port", str(port), "--json"
         ]) == 0
         printed = capsys.readouterr().out
         assert '"self": "n3"' in printed
         assert "alpha" in printed
+        # Human summary (default) mentions peers and context owners.
+        assert ctl_main([
+            "cluster-status", "--host", host, "--port", str(port)
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "node n3" in printed
+        assert "context alpha ->" in printed
 
 
 class TestGracefulShutdown:

@@ -132,3 +132,31 @@ class TestMergeSnapshots:
         merged = merge_snapshots([a])
         assert merged["c"]["value"] == 2
         assert merged["h"]["count"] == 1
+
+    def test_transfer_series_survive_pool_merge(self):
+        """The bulk data plane's ``transfer.*`` series ride the same
+        merged metrics plane as the wire/cluster series: counters sum
+        across executors and the MB/s histogram re-derives percentiles."""
+        from repro.data.server import _MBPS_BUCKETS
+
+        def fill(registry, completed, mbps):
+            registry.counter("transfer.completed").inc(completed)
+            registry.counter("transfer.bytes_sent").inc(completed * 1000)
+            registry.gauge("transfer.active").set(1)
+            h = registry.histogram(
+                "transfer.throughput_mbps", buckets=_MBPS_BUCKETS
+            )
+            for value in mbps:
+                h.observe(value)
+
+        a = self.build(lambda r: fill(r, 3, [80.0, 120.0]))
+        b = self.build(lambda r: fill(r, 5, [240.0]))
+        merged = merge_snapshots([a, b])
+        assert merged["transfer.completed"]["value"] == 8
+        assert merged["transfer.bytes_sent"]["value"] == 8000
+        assert merged["transfer.active"]["value"] == 2
+        mbps = merged["transfer.throughput_mbps"]
+        assert mbps["count"] == 3
+        assert mbps["min"] == pytest.approx(80.0)
+        assert mbps["max"] == pytest.approx(240.0)
+        assert 80.0 <= mbps["p50"] <= 240.0
