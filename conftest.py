@@ -1,0 +1,16 @@
+"""Repo-level pytest configuration.
+
+Registers the ``timeout`` marker so the live cluster acceptance tests
+can declare per-test deadlines without making pytest-timeout a hard
+local dependency: CI installs the plugin (and runs with a global
+``--timeout``), so a hung promotion fails the job fast; a bare local
+environment simply ignores the marker instead of erroring on it.
+"""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test deadline, enforced when the "
+        "pytest-timeout plugin is installed (CI); inert otherwise",
+    )

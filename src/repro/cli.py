@@ -20,6 +20,10 @@ Subcommands
     Query a cluster node's ``cluster`` op and print its ring/membership
     view (owner per context, peer liveness, epoch) plus the cluster-plane
     metrics (forwarding, gossip, failovers).
+``ha-status``
+    Query a cluster node's ``ha`` op and print the replication view
+    (factor, per-context replica sets with sync state and lag, healing
+    queue depth, last promotion) plus the ``repl.*`` metrics.
 """
 
 from __future__ import annotations
@@ -169,6 +173,49 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ha_status(args: argparse.Namespace) -> int:
+    from repro.client.dvlib import TcpConnection
+
+    try:
+        with TcpConnection(args.host, args.port, {}, {}) as conn:
+            reply = conn.call({"op": "ha"})
+    except _connect_errors() as exc:
+        detail = str(exc) if "cannot reach" in str(exc) else (
+            f"cannot reach node at {args.host}:{args.port}: {exc}")
+        print(f"simfs-ctl: {detail}", file=sys.stderr)
+        return 1
+    payload = {k: v for k, v in reply.items() if k not in ("op", "req", "error")}
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    view = payload.get("ha") or {}
+    print(f"node {view.get('self')} replication_factor={view.get('factor')}"
+          f" healing_queue={view.get('healing_queue')}")
+    for name, entry in sorted((view.get("contexts") or {}).items()):
+        replicas = ", ".join(
+            f"{r.get('node')}"
+            f"[{'synced' if r.get('synced') else 'catching-up'}"
+            f" seq={r.get('seq')} lag={r.get('lag_seconds')}s]"
+            for r in entry.get("replicas") or []
+        ) or "none"
+        role = entry.get("role") or "bystander"
+        print(f" context {name} owner={entry.get('owner')}"
+              f" role={role} replicas: {replicas}")
+    for name, entry in sorted((view.get("replica_of") or {}).items()):
+        print(f" replica-of {name} src={entry.get('src')}"
+              f" seq={entry.get('seq')} age={entry.get('age_seconds')}s"
+              f" waiters={entry.get('waiters')}")
+    promo = view.get("last_promotion")
+    if promo:
+        print(f" last promotion: {promo.get('context')}"
+              f" restored_waiters={promo.get('restored_waiters')}"
+              f" resumed_sims={promo.get('resumed_sims')}")
+    print(" metrics:")
+    for line in _metric_lines(payload.get("metrics") or {}):
+        print(line)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="simfs-ctl", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -223,6 +270,14 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--json", action="store_true",
                    help="emit the raw cluster payload as JSON")
     p.set_defaults(func=_cmd_cluster_status)
+
+    p = sub.add_parser("ha-status",
+                       help="print a cluster node's replication/HA view")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7878)
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw HA payload as JSON")
+    p.set_defaults(func=_cmd_ha_status)
 
     args = parser.parse_args(argv)
     return args.func(args)

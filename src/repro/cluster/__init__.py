@@ -11,6 +11,8 @@ installation; this package spreads contexts across peers:
   the ordinary DV wire protocol (``fwd``/``fwd_reply``/``gossip`` ops);
 * :mod:`repro.cluster.node` — :class:`ClusterNode`, a DVServer plus the
   gateway-forwarding, ready-routing and failover machinery;
+* :mod:`repro.cluster.replication` — the HA tier: owner→replica state
+  streaming with epoch fencing, hot promotion and background healing;
 * :mod:`repro.cluster.client` — :class:`ClusterConnection`, the
   one-hop cluster-aware DVLib connection.
 
@@ -20,9 +22,10 @@ virtual clock for node-count sweeps and failure-schedule experiments.
 """
 
 from repro.cluster.client import ClusterConnection
-from repro.cluster.link import PeerLink
+from repro.cluster.link import DialBackoff, PeerLink
 from repro.cluster.membership import PeerInfo, PeerTable
 from repro.cluster.node import ClusterNode, ContextSpec, parse_peer
+from repro.cluster.replication import ReplicaStore, ReplicationManager
 from repro.cluster.ring import HashRing
 
 __all__ = [
@@ -30,8 +33,11 @@ __all__ = [
     "PeerInfo",
     "PeerTable",
     "PeerLink",
+    "DialBackoff",
     "ClusterNode",
     "ContextSpec",
     "parse_peer",
     "ClusterConnection",
+    "ReplicaStore",
+    "ReplicationManager",
 ]

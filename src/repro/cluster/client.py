@@ -186,16 +186,32 @@ class ClusterConnection(DVConnection):
         self._conns[key] = conn
 
     def _conn_for_context(self, context: str) -> TcpConnection:
-        owner = self._ring.owner(context)
-        if owner is None:
+        """A live connection serving ``context``: the ring owner when
+        reachable, else the next nodes in the context's preference list.
+        Under replication the first successor is the promoted owner; in
+        any case a non-owner gateway-forwards, so falling down the chain
+        is always correct — just possibly one hop slower."""
+        chain = (
+            self._ring.successors(context, len(self._ring))
+            if len(self._ring) else []
+        )
+        if not chain:
             raise DVConnectionLost("cluster ring is empty")
-        conn = self._conns.get(owner)
-        if conn is not None and not conn.is_lost:
-            return conn
-        addr = self._addrs.get(owner)
-        if addr is None:
-            raise DVConnectionLost(f"no address for cluster node {owner!r}")
-        return self._conn_for_addr(*addr)
+        last_error: Exception | None = None
+        for node_id in chain:
+            conn = self._conns.get(node_id)
+            if conn is not None and not conn.is_lost:
+                return conn
+            addr = self._addrs.get(node_id)
+            if addr is None:
+                continue
+            try:
+                return self._conn_for_addr(*addr)
+            except (ConnectionLostError, OSError) as exc:
+                last_error = exc
+        raise DVConnectionLost(
+            f"no live node in the preference list of context {context!r}"
+        ) from last_error
 
     def _ensure_attached(self, context: str, conn: TcpConnection) -> None:
         """Attached sessions follow the context: when the owner we
@@ -328,13 +344,21 @@ class ClusterConnection(DVConnection):
 
     def cluster_status(self) -> dict:
         """Ring/membership view plus cluster metrics of a live node."""
+        return self._any_node_call({"op": "cluster"})
+
+    def ha_status(self) -> dict:
+        """Replication view (factor, per-context replica sets, lag, last
+        promotion) plus ``repl.*`` metrics of a live node."""
+        return self._any_node_call({"op": "ha"})
+
+    def _any_node_call(self, message: dict) -> dict:
         for conn in list(self._conns.values()):
             if not conn.is_lost:
-                return conn.call({"op": "cluster"})
+                return conn.call(dict(message))
         self._refresh_ring()
         for conn in list(self._conns.values()):
             if not conn.is_lost:
-                return conn.call({"op": "cluster"})
+                return conn.call(dict(message))
         raise DVConnectionLost("no cluster node reachable")
 
     def storage_path(self, context: str, filename: str) -> str:

@@ -25,8 +25,10 @@ from __future__ import annotations
 
 import itertools
 import queue
+import random
 import socket
 import threading
+import time
 from collections.abc import Callable
 
 from repro.core.errors import DVConnectionLost, SimFSError
@@ -40,7 +42,65 @@ from repro.dv.protocol import (
     send_message,
 )
 
-__all__ = ["PeerLink", "PeerTimeout"]
+__all__ = ["DialBackoff", "PeerLink", "PeerTimeout"]
+
+
+class DialBackoff:
+    """Capped exponential backoff with jitter for peer re-dials.
+
+    A dead peer used to be re-dialed in a tight loop: every gossip round
+    and every ``_link_to`` miss paid a fresh connect attempt (instant
+    ``ECONNREFUSED`` on a crashed-but-routable host, a full connect
+    timeout on a black-holed one).  This gate spaces attempts out per
+    peer — delays double from ``base`` up to ``cap``, with up to
+    ``jitter`` fractional random extension so a cluster of survivors does
+    not re-dial a rebooting peer in lockstep — and forgets a peer
+    entirely on the first successful dial.
+
+    Thread-safe; ``now`` parameters exist for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.5,
+        cap: float = 30.0,
+        jitter: float = 0.5,
+        seed: int | None = None,
+    ) -> None:
+        self.base = base
+        self.cap = cap
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        # peer_id -> (consecutive failures, earliest next attempt)
+        self._state: dict[str, tuple[int, float]] = {}
+
+    def ready(self, peer_id: str, now: float | None = None) -> bool:
+        """May we dial this peer now?"""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            entry = self._state.get(peer_id)
+            return entry is None or now >= entry[1]
+
+    def failures(self, peer_id: str) -> int:
+        with self._lock:
+            entry = self._state.get(peer_id)
+            return entry[0] if entry is not None else 0
+
+    def failed(self, peer_id: str, now: float | None = None) -> float:
+        """Record a failed dial; returns the delay until the next try."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            fails = self._state.get(peer_id, (0, 0.0))[0] + 1
+            delay = min(self.cap, self.base * (1 << min(fails - 1, 30)))
+            delay *= 1.0 + self.jitter * self._rng.random()
+            self._state[peer_id] = (fails, now + delay)
+            return delay
+
+    def succeeded(self, peer_id: str) -> None:
+        """A dial got through: drop all backoff state for the peer."""
+        with self._lock:
+            self._state.pop(peer_id, None)
 
 
 class PeerTimeout(DVConnectionLost):

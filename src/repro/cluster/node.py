@@ -44,8 +44,9 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.cluster.link import PeerLink, PeerTimeout
+from repro.cluster.link import DialBackoff, PeerLink, PeerTimeout
 from repro.cluster.membership import PeerTable
+from repro.cluster.replication import ReplicationManager
 from repro.cluster.ring import HashRing
 from repro.core.context import SimulationContext
 from repro.core.errors import (
@@ -128,7 +129,22 @@ class ClusterNode:
         engine_workers: int | None = None,
         data_port: int = 0,
         data_link_rate: float | None = None,
+        replication_factor: int = 1,
+        repl_interval: float = 0.1,
+        anti_entropy_interval: float = 5.0,
+        repl_frame_hook=None,
     ) -> None:
+        if replication_factor < 1:
+            raise InvalidArgumentError(
+                f"replication_factor must be >= 1, got {replication_factor}"
+            )
+        if replication_factor > 1 and engine_workers is not None and engine_workers > 1:
+            # The executor pool's shards live in other processes; the
+            # replication pump cannot snapshot them from here.  HA is a
+            # single-coordinator feature for now.
+            raise InvalidArgumentError(
+                "replication_factor > 1 is not supported with engine_workers"
+            )
         self.node_id = node_id
         self.heartbeat_interval = heartbeat_interval
         self.rpc_timeout = rpc_timeout
@@ -191,10 +207,14 @@ class ClusterNode:
         self._pending: dict[tuple[str, str, str], str] = {}
         self._stop = threading.Event()
         self._hb_thread: threading.Thread | None = None
-        # Dead-peer probe pacing: heartbeat round counter and per-peer
-        # failed-probe counts (probe every 2^misses rounds, capped).
-        self._hb_round = 0
-        self._probe_backoff: dict[str, int] = {}
+        # Re-dial pacing for unreachable peers: one shared backoff gate
+        # covers gossip dead-peer probes and lazy _link_to dials, so a
+        # down peer costs a bounded (and jittered) trickle of connect
+        # attempts instead of one per round/op.
+        self._dial_backoff = DialBackoff(
+            base=heartbeat_interval,
+            cap=max(heartbeat_interval * 64, 5.0),
+        )
 
         for spec in peers:
             peer_id, peer_host, peer_port = parse_peer(spec)
@@ -211,6 +231,18 @@ class ClusterNode:
         self._m_replayed = self.metrics.counter("cluster.replayed_waits")
         self._m_epoch = self.metrics.gauge("cluster.ring_epoch")
         self._m_peers = self.metrics.gauge("cluster.peers_alive")
+        self._m_redial = self.metrics.counter("cluster.redial")
+
+        #: HA tier: owner→replica state streaming and hot promotion.
+        #: None at factor 1 (the pre-HA single-owner behavior).
+        self.repl: ReplicationManager | None = None
+        if replication_factor > 1:
+            self.repl = ReplicationManager(
+                self, replication_factor,
+                interval=repl_interval,
+                anti_entropy_interval=anti_entropy_interval,
+                frame_hook=repl_frame_hook,
+            )
 
         self.server.register_op(
             OP_FWD, self._op_fwd, reply_op="fwd_reply", needs_worker=True
@@ -219,6 +251,8 @@ class ClusterNode:
         # describe() takes the cluster lock, which activation may hold
         # across a PFS directory scan — never run it on the event loop.
         self.server.register_op("cluster", self._op_cluster, needs_worker=True)
+        self.server.register_op("repl", self._op_repl, needs_worker=True)
+        self.server.register_op("ha", self._op_ha, needs_worker=True)
         if self.engine is not None:
             # The real shards live in the pool: a client's `stats` must
             # show the merged executor view, not this node's empty
@@ -302,11 +336,15 @@ class ClusterNode:
             daemon=True,
         )
         self._hb_thread.start()
+        if self.repl is not None:
+            self.repl.start()
 
     def stop(self, drain_timeout: float = 5.0) -> None:
         """Tear the node down (abruptly from the peers' point of view —
         survivors notice through heartbeats, exactly like a crash)."""
         self._stop.set()
+        if self.repl is not None:
+            self.repl.stop()
         if self._hb_thread is not None:
             self._hb_thread.join(timeout=5.0)
         with self._links_lock:
@@ -333,11 +371,15 @@ class ClusterNode:
     # ------------------------------------------------------------------ #
     # Ring maintenance (all called with self._lock held)
     # ------------------------------------------------------------------ #
-    def _sync_ring(self) -> tuple[list[tuple[str, str]], list[tuple[str, str, str]]]:
+    def _sync_ring(
+        self,
+    ) -> tuple[
+        list[tuple[str, str]], list[tuple[str, str, str]], list[str]
+    ]:
         """Reconcile ring membership with the peer table; activate and
-        deactivate contexts accordingly.  Returns the client re-attaches
-        and waiter replays the caller must run *after* releasing the lock
-        (they cross the wire)."""
+        deactivate contexts accordingly.  Returns the client re-attaches,
+        waiter replays and replica promotions the caller must run *after*
+        releasing the lock (they cross the wire)."""
         alive = set(self.table.alive_ids())
         changed = False
         for node_id in self.ring.nodes():
@@ -349,13 +391,22 @@ class ClusterNode:
         self._m_epoch.set(self.ring.epoch)
         self._m_peers.set(len(alive))
         if not changed:
-            return [], []
+            return [], [], []
+        if self.repl is not None:
+            # Membership moved: re-replication from here on is healing.
+            self.repl.schedule_heal()
         reattaches: list[tuple[str, str]] = []
         replays: list[tuple[str, str, str]] = []
+        promotions: list[str] = []
         for name in sorted(self._specs):
             owner = self.ring.owner(name)
             if owner == self.node_id and name not in self._active:
                 self._activate(name)
+                if self.repl is not None and self.repl.store.has(name):
+                    # We hold replicated state for the context we just
+                    # inherited: hot promotion (runs on the replay
+                    # thread, outside this lock).
+                    promotions.append(name)
             elif owner != self.node_id and name in self._active:
                 attached, waits = self._deactivate(name)
                 reattaches.extend(attached)
@@ -374,7 +425,7 @@ class ClusterNode:
                 client_id, context_name, filename = key
                 replays.append((client_id, context_name, filename))
                 del self._pending[key]
-        return reattaches, replays
+        return reattaches, replays, promotions
 
     def _activate(self, name: str) -> None:
         if self.engine is not None:
@@ -408,10 +459,10 @@ class ClusterNode:
         contexts, re-attach displaced clients and replay orphaned waiters
         (outside the lock)."""
         with self._lock:
-            reattaches, replays = (
-                self._sync_ring() if mutate() else ([], [])
+            reattaches, replays, promotions = (
+                self._sync_ring() if mutate() else ([], [], [])
             )
-        if reattaches or replays:
+        if reattaches or replays or promotions:
             self._m_failovers.inc()
             # A replay serializes peer round trips: run it on its own
             # thread so neither the heartbeat loop nor a pool worker
@@ -419,7 +470,7 @@ class ClusterNode:
             # pool would time out inbound gossip and cascade false
             # death verdicts.
             threading.Thread(
-                target=self._replay, args=(reattaches, replays),
+                target=self._replay, args=(reattaches, replays, promotions),
                 name=f"cluster-replay-{self.node_id}", daemon=True,
             ).start()
 
@@ -471,10 +522,9 @@ class ClusterNode:
             )
         # Probe dead peers too: if both sides declared each other dead
         # (symmetric partition), neither would otherwise ever dial again.
-        # Probes back off exponentially per peer (capped at one probe per
-        # 64 rounds) so a decommissioned peer does not cost every round
-        # a dial timeout forever.
-        self._hb_round += 1
+        # The shared dial-backoff gate spaces probes out (capped
+        # exponential with jitter) so a decommissioned peer does not cost
+        # every round a dial timeout forever.
         with self._lock:
             dead = [
                 p for p in self.table.peers.values()
@@ -483,25 +533,25 @@ class ClusterNode:
         for peer in dead:
             if self._stop.is_set():
                 return
-            misses = self._probe_backoff.get(peer.node_id, 0)
-            if self._hb_round % min(1 << misses, 64):
+            if not self._dial_backoff.ready(peer.node_id):
                 continue
+            self._m_redial.inc()
             try:
                 probe = PeerLink(
                     self.node_id, peer.node_id, peer.host, peer.port,
                     connect_timeout=1.0,
                 )
             except DVConnectionLost:
-                self._probe_backoff[peer.node_id] = misses + 1
+                self._dial_backoff.failed(peer.node_id)
                 continue
             try:
                 reply = probe.call(frame, timeout=self.rpc_timeout)
             except (DVConnectionLost, SimFSError, OSError):
-                self._probe_backoff[peer.node_id] = misses + 1
+                self._dial_backoff.failed(peer.node_id)
                 continue
             finally:
                 probe.close()
-            self._probe_backoff.pop(peer.node_id, None)
+            self._dial_backoff.succeeded(peer.node_id)
             peer_view = reply.get("view") or []
             self._apply_membership(
                 lambda peer_id=peer.node_id, peer_view=peer_view: (
@@ -547,10 +597,21 @@ class ClusterNode:
         peer = self.table.get(node_id)
         if peer is None or not peer.alive:
             raise DVConnectionLost(f"peer {node_id!r} is not alive")
-        fresh = PeerLink(
-            self.node_id, node_id, peer.host, peer.port,
-            on_fwd=self._on_peer_fwd, on_down=self._on_link_down,
-        )
+        if not self._dial_backoff.ready(node_id):
+            raise DVConnectionLost(
+                f"peer {node_id!r} dial is backing off"
+            )
+        if self._dial_backoff.failures(node_id):
+            self._m_redial.inc()
+        try:
+            fresh = PeerLink(
+                self.node_id, node_id, peer.host, peer.port,
+                on_fwd=self._on_peer_fwd, on_down=self._on_link_down,
+            )
+        except DVConnectionLost:
+            self._dial_backoff.failed(node_id)
+            raise
+        self._dial_backoff.succeeded(node_id)
         with self._links_lock:
             link = self._links.get(node_id)
             if link is not None and not link.closed:
@@ -613,11 +674,24 @@ class ClusterNode:
         context = inner.get("context")
         deadline = time.monotonic() + self.rpc_timeout
         while True:
+            promote = False
             with self._lock:
                 owner = self.ring.owner(context) if context else None
                 known = context in self._specs
                 if owner == self.node_id and known and context not in self._active:
                     self._activate(context)
+                    # A forwarded op can beat the heartbeat to the ring
+                    # change: promote replicated state here too, not only
+                    # from _sync_ring, or the first op after a failover
+                    # would see a cold shard.
+                    promote = (
+                        self.repl is not None and self.repl.store.has(context)
+                    )
+            if promote:
+                try:
+                    self.repl.promote(context)
+                except Exception:
+                    pass
             if owner is None:
                 return {
                     "error": int(ErrorCode.ERR_CONTEXT),
@@ -763,11 +837,19 @@ class ClusterNode:
         self,
         reattaches: list[tuple[str, str]],
         replays: list[tuple[str, str, str]],
+        promotions: tuple[str, ...] | list[str] = (),
     ) -> None:
         """Re-register displaced clients with the new owner and re-issue
         the forwarded opens stranded by the ownership change, so blocked
         clients get their ready from the new owner instead of hanging on
-        the dead one."""
+        the dead one.  Replica promotions run first: a hot-promoted shard
+        already holds the dead owner's waiter table, so replays arriving
+        afterwards are idempotent re-registrations, not cold rebuilds."""
+        for context_name in promotions:
+            try:
+                self.repl.promote(context_name)
+            except Exception:
+                pass  # a failed promotion degrades to the cold path
         seen: set[tuple[str, str]] = set()
         for client_id, context_name in reattaches:
             if (client_id, context_name) not in seen:
@@ -824,7 +906,7 @@ class ClusterNode:
         local connection — push it through the proxied client's ingress
         peer link."""
         proxy = self._proxies.get(notification.client_id)
-        if proxy is None or proxy.conn is None:
+        if proxy is None:
             return
         frame = make_fwd(self.node_id, notification.client_id, {
             "op": "ready",
@@ -832,11 +914,24 @@ class ClusterNode:
             "file": notification.filename,
             "ok": notification.ok,
         })
-        try:
-            self.server._send(proxy.conn, frame)
-            self._m_ready_routed.inc()
-        except (OSError, SimFSError):
-            pass
+        if proxy.conn is not None:
+            try:
+                self.server._send(proxy.conn, frame)
+                self._m_ready_routed.inc()
+                return
+            except (OSError, SimFSError):
+                pass
+        if proxy.origin and proxy.origin != self.node_id:
+            # Promoted-replica path: the waiter entered the cluster at its
+            # origin node and our copy of its ingress channel is only a
+            # recorded name (the dead owner held the live connection) —
+            # dial the origin and route the ready over our own link; the
+            # origin's fwd handler delivers it to the real client.
+            try:
+                self._link_to(proxy.origin).send(frame)
+                self._m_ready_routed.inc()
+            except (DVConnectionLost, SimFSError, OSError):
+                pass
 
     def _on_peer_fwd(self, message: dict) -> None:
         """PeerLink callback: unsolicited ``fwd`` from a peer over one of
@@ -891,6 +986,69 @@ class ClusterNode:
             "metrics": self.metrics.snapshot("cluster."),
         }
 
+    # ------------------------------------------------------------------ #
+    # HA tier (owner→replica streaming, promotion, healing)
+    # ------------------------------------------------------------------ #
+    def _op_repl(self, conn, message: dict) -> dict:
+        """Server op: a peer owner streaming replicated context state."""
+        if self.repl is None:
+            with self._lock:
+                epoch = self.ring.epoch
+            return {"fenced": True, "epoch": epoch,
+                    "detail": "replication disabled on this node"}
+        return self.repl.receive(message)
+
+    def _op_ha(self, conn, message: dict) -> dict:
+        """Server op: HA status (``simfs-ctl ha-status``)."""
+        if self.repl is None:
+            payload = {
+                "factor": 1, "contexts": {}, "replica_of": {},
+                "fenced": [], "healing_queue": 0, "last_promotion": None,
+            }
+        else:
+            payload = self.repl.describe()
+        payload["self"] = self.node_id
+        return {"ha": payload, "metrics": self.metrics.snapshot("repl.")}
+
+    def _capture_repl(self, context_name: str) -> dict | None:
+        """Replication-pump hook: snapshot an owned shard's control-plane
+        state, annotating each waiter with its ingress origin so that a
+        promoted replica can route readies back out through it."""
+        try:
+            shard = self.server.coordinator.shard(context_name)
+        except SimFSError:
+            return None
+        state = shard.capture_repl_state()
+        state["waiters"] = [
+            [
+                client_id,
+                filename,
+                getattr(self._proxies.get(client_id), "origin", None),
+            ]
+            for client_id, filename in state["waiters"]
+        ]
+        return state
+
+    def _register_waiter_origins(self, waiters: list) -> None:
+        """Promotion prep: recreate owner-side proxies for replicated
+        waiters that entered through a gateway, so their ready
+        notifications have a route back out (``_ready_router`` dials the
+        origin when no live server-side channel exists)."""
+        for entry in waiters:
+            client_id = entry[0]
+            origin = entry[2] if len(entry) > 2 else None
+            if not isinstance(client_id, str):
+                continue
+            if not origin or origin == self.node_id:
+                continue
+            proxy = self._proxies.get(client_id)
+            if proxy is None:
+                proxy = self._proxies.setdefault(
+                    client_id, _ProxyClient(client_id)
+                )
+            if proxy.origin is None:
+                proxy.origin = origin
+
     def _op_engine_stats(self, conn, message: dict) -> dict:
         """Replacement ``stats`` op (engine mode): the pool's merged view
         plus this node's own wire/cluster metric series."""
@@ -930,6 +1088,7 @@ class ClusterNode:
                     name: self.ring.owner(name) for name in sorted(self._specs)
                 },
                 "active": sorted(self._active),
+                "replication": self.repl.factor if self.repl else 1,
                 "engine": (
                     {"mode": "multiproc", "workers": self.engine.workers}
                     if self.engine is not None else None

@@ -87,6 +87,27 @@ class HashRing:
             idx = 0  # wrap around
         return self._points[idx][1]
 
+    def successors(self, context_name: str, count: int) -> list[str]:
+        """The context's preference list: the owner plus the next distinct
+        nodes clockwise, up to ``count`` entries (fewer when the ring is
+        smaller).  ``successors(name, n)[0] == owner(name)``; replication
+        places a context's state on exactly this list, so that when the
+        owner dies the ring's *new* owner is always the first replica."""
+        if count < 1:
+            raise InvalidArgumentError(f"count must be >= 1, got {count}")
+        if not self._points:
+            return []
+        point = _hash64(context_name)
+        start = bisect_right(self._points, (point, "￿"))
+        chosen: list[str] = []
+        for offset in range(len(self._points)):
+            node_id = self._points[(start + offset) % len(self._points)][1]
+            if node_id not in chosen:
+                chosen.append(node_id)
+                if len(chosen) == count:
+                    break
+        return chosen
+
     def assignment(self, context_names: list[str]) -> dict[str, str]:
         """Bulk ``owner`` lookup: ``{context_name: node_id}``."""
         return {name: self.owner(name) for name in context_names}

@@ -312,9 +312,16 @@ class _ClusterRouter:
         self._cluster._attachments.get(client_id, set()).discard(context_name)
 
     def handle_open(self, client_id: str, context_name: str, filename: str, now: float):
-        return self._coordinator(context_name).handle_open(
+        result = self._coordinator(context_name).handle_open(
             client_id, context_name, filename, now
         )
+        if not result.available:
+            # Remember when the wait began: at failure time this decides
+            # whether the waiter had already reached a replica (older
+            # than repl_lag -> hot replay) or was still in flight.
+            key = (client_id, context_name, filename)
+            self._cluster._wait_started_at[key] = now
+        return result
 
     def handle_release(
         self, client_id: str, context_name: str, filename: str, now: float
@@ -346,6 +353,19 @@ class VirtualCluster:
       ``detect_delay`` later, modeling failure-detection time.  Blocked
       analyses therefore resume after detection instead of hanging,
       exactly the live tier's failover contract.
+    * With ``replication_factor > 1`` the HA tier is mirrored: each
+      context's owner streams state to its ring successors.  A waiter
+      blocked for at least ``repl_lag`` virtual seconds has reached the
+      replica when the owner dies, so the first live successor promotes
+      and replays it after only ``promote_delay`` (the hot path — no
+      client retry).  Younger waiters were still in flight and fall back
+      to the cold ``detect_delay`` replay; they are counted as
+      ``lost_waiters``.  After any membership change, under-replicated
+      contexts heal back to full factor sequentially at ``heal_rate``
+      contexts per virtual second (the healing bandwidth) — a second
+      failure that lands before healing completes finds no synced
+      replica and degrades to the cold path, exactly the live tier's
+      double-failure behavior.
     """
 
     def __init__(
@@ -356,12 +376,28 @@ class VirtualCluster:
         hop_latency: float = 0.0,
         detect_delay: float = 1.0,
         queue_delay: Callable[[], float] | None = None,
+        replication_factor: int = 1,
+        repl_lag: float = 0.05,
+        promote_delay: float = 0.1,
+        heal_rate: float = 10.0,
     ) -> None:
         if not node_ids:
             raise InvalidArgumentError("virtual cluster needs >= 1 node")
+        if replication_factor < 1:
+            raise InvalidArgumentError(
+                f"replication_factor must be >= 1, got {replication_factor}"
+            )
+        if heal_rate <= 0:
+            raise InvalidArgumentError(
+                f"heal_rate must be > 0, got {heal_rate}"
+            )
         self.engine = engine or DESEngine()
         self.hop_latency = hop_latency
         self.detect_delay = detect_delay
+        self.replication_factor = replication_factor
+        self.repl_lag = repl_lag
+        self.promote_delay = promote_delay
+        self.heal_rate = heal_rate
         self.ring = HashRing(vnodes)
         # The DES drives the same PeerTable liveness logic as the TCP
         # node; its self-id is a synthetic observer (a PeerTable refuses
@@ -383,12 +419,26 @@ class VirtualCluster:
         self.total_ops = 0
         self.failovers = 0
         self.replayed_waits = 0
+        #: per-context count of replicas currently in sync with the owner
+        self._replicas_ok: dict[str, int] = {}
+        #: (client, context, filename) -> virtual time the wait started
+        self._wait_started_at: dict[tuple[str, str, str], float] = {}
+        self.promotions = 0
+        self.hot_restored_waiters = 0
+        self.lost_waiters = 0
+        self.healed = 0
 
     # ------------------------------------------------------------------ #
+    def _target_replicas(self) -> int:
+        return min(self.replication_factor - 1, max(0, len(self.ring) - 1))
+
     def add_context(self, context: SimulationContext) -> None:
         owner = self.ring.owner(context.name)
         self._specs[context.name] = context
         self._register_on(context.name, owner)
+        # Contexts start fully replicated (anti-entropy converged long
+        # before the scenario's first failure).
+        self._replicas_ok[context.name] = self._target_replicas()
 
     def _register_on(self, context_name: str, node_id: str) -> None:
         node = self.nodes[node_id]
@@ -440,16 +490,32 @@ class VirtualCluster:
         if not self.table.link_failed(node_id):
             return  # already dead by the table's rules
         node.alive = False
+        # Preference chains as they stood while the node was alive: who
+        # replicated to whom is decided by the pre-failure ring.
+        chains = {}
+        if self.replication_factor > 1:
+            chains = {
+                name: self.ring.successors(name, self.replication_factor)
+                for name in self._specs
+            }
         # Ring membership follows table liveness, exactly like the TCP
         # node's _sync_ring.
         for member in self.ring.nodes():
             if member not in self.table.alive_ids():
                 self.ring.remove_node(member)
         self.failovers += 1
+        # A dead replica desyncs every context that streamed to it.
+        for name, chain in chains.items():
+            if node_id in chain[1:]:
+                self._replicas_ok[name] = max(
+                    0, self._replicas_ok.get(name, 0) - 1
+                )
         moved = [
             name for name, where in self._located.items() if where == node_id
         ]
-        stranded: list[tuple[str, str, str]] = []
+        now = self.engine.now()
+        hot: list[tuple[str, str, str]] = []
+        cold: list[tuple[str, str, str]] = []
         for name in moved:
             shard = node.coordinator.shard(name)
             with shard.lock:
@@ -460,7 +526,20 @@ class VirtualCluster:
                 ]
                 shard.waiters.clear()
             node.coordinator.unregister_context(name)
-            stranded.extend(captured)
+            if self._replicas_ok.get(name, 0) > 0:
+                # Hot failover: the first live successor already holds the
+                # replicated waiter table — except entries younger than
+                # the replication lag, which never reached it.
+                self.promotions += 1
+                self._replicas_ok[name] -= 1
+                for entry in captured:
+                    started = self._wait_started_at.get(entry, now)
+                    if now - started >= self.repl_lag:
+                        hot.append(entry)
+                    else:
+                        cold.append(entry)
+            else:
+                cold.extend(captured)
             new_owner = self.ring.owner(name)
             self._register_on(name, new_owner)
             # Re-register surviving attachments with the new owner.
@@ -469,12 +548,40 @@ class VirtualCluster:
                     self.nodes[new_owner].coordinator.client_connect(
                         client_id, name
                     )
-        # Opens that were blocked on the dead node resume once the
-        # failure is detected.
-        if stranded:
+        # Replicated waiters replay from the promoted successor as soon
+        # as it fences the epoch; everything else waits for detection.
+        self.hot_restored_waiters += len(hot)
+        self.lost_waiters += len(cold)
+        if hot:
             self.engine.schedule(
-                self.detect_delay, lambda: self._replay(stranded)
+                self.promote_delay, lambda: self._replay(hot)
             )
+        if cold:
+            self.engine.schedule(
+                self.detect_delay, lambda: self._replay(cold)
+            )
+        # Background healing: every under-replicated context re-syncs to
+        # full factor, one context per 1/heal_rate virtual seconds after
+        # the survivors detect the death.
+        if self.replication_factor > 1:
+            under = sorted(
+                name for name in self._specs
+                if self._replicas_ok.get(name, 0) < self._target_replicas()
+            )
+            for position, name in enumerate(under):
+                self.engine.schedule(
+                    self.detect_delay + (position + 1) / self.heal_rate,
+                    self._make_heal(name),
+                )
+
+    def _make_heal(self, context_name: str):
+        def heal() -> None:
+            target = self._target_replicas()
+            if self._replicas_ok.get(context_name, 0) < target:
+                self._replicas_ok[context_name] = target
+                self.healed += 1
+
+        return heal
 
     def _replay(self, stranded: list[tuple[str, str, str]]) -> None:
         now = self.engine.now()
@@ -519,6 +626,14 @@ class VirtualCluster:
             "replayed_waits": self.replayed_waits,
             "forwarded_ops": self.forwarded_ops,
             "total_ops": self.total_ops,
+            "replication": {
+                "factor": self.replication_factor,
+                "promotions": self.promotions,
+                "hot_restored_waiters": self.hot_restored_waiters,
+                "lost_waiters": self.lost_waiters,
+                "healed": self.healed,
+                "replicas_ok": dict(sorted(self._replicas_ok.items())),
+            },
         }
 
     def _route(self, notification: Notification) -> None:

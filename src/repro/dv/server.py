@@ -1498,7 +1498,12 @@ def main(argv: list[str] | None = None) -> int:
            {"name": "cosmo", "simulator": "cosmo",
             "delta_d": 5, "delta_r": 60, "num_timesteps": 5760,
             "output_dir": "...", "restart_dir": "...",
-            "max_storage_bytes": 100000000, "policy": "dcl", "smax": 8}]}
+            "max_storage_bytes": 100000000, "policy": "dcl", "smax": 8,
+            "alpha_delay": 0.0, "tau_delay": 0.0}]}
+
+    ``alpha_delay``/``tau_delay`` (seconds) pace the built-in drivers'
+    re-simulations — per sim launch and per produced output step — so a
+    demo or failover drill has a real window in which clients block.
 
     Multi-daemon quickstart — run the same config (same context catalog,
     dirs on the shared PFS) on every node and name the peers::
@@ -1507,11 +1512,15 @@ def main(argv: list[str] | None = None) -> int:
                  --peers n2@hostB:7878,n3@hostC:7878
 
     ``node_id``/``peers`` (plus ``vnodes``, ``heartbeat_interval``,
-    ``suspect_after``, ``generation``) may also live in the config file.
-    Each node activates only the contexts the consistent-hash ring
-    assigns to it and forwards ops for the rest to their owners; clients
-    may connect to any node.  Inspect the ring with
-    ``simfs-ctl cluster-status --host ... --port ...``.
+    ``suspect_after``, ``generation``, ``replication_factor``,
+    ``repl_interval``, ``anti_entropy_interval``) may also live in the
+    config file.  Each node activates only the contexts the
+    consistent-hash ring assigns to it and forwards ops for the rest to
+    their owners; clients may connect to any node.  With
+    ``--replication-factor N`` every context is streamed to its N-1 ring
+    successors for hot failover.  Inspect the ring with
+    ``simfs-ctl cluster-status`` and the replication state with
+    ``simfs-ctl ha-status``.
     """
     from repro.core.context import ContextConfig
     from repro.core.perfmodel import PerformanceModel
@@ -1535,6 +1544,12 @@ def main(argv: list[str] | None = None) -> int:
         "--peers",
         help="comma-separated peer daemons as [id@]host:port; implies "
              "cluster mode (the config file may also set node_id/peers)",
+    )
+    parser.add_argument(
+        "--replication-factor", type=int, default=None, dest="replication_factor",
+        help="replicate each context to its N-1 ring successors for hot "
+             "failover (cluster mode only; the config file may also set "
+             "\"replication_factor\")",
     )
     parser.add_argument(
         "--workers", type=int, default=None,
@@ -1585,6 +1600,15 @@ def main(argv: list[str] | None = None) -> int:
             engine_workers=workers,
             data_port=int(config.get("data_port", 0)),
             data_link_rate=config.get("data_link_rate"),
+            replication_factor=int(
+                args.replication_factor
+                if args.replication_factor is not None
+                else config.get("replication_factor", 1)
+            ),
+            repl_interval=float(config.get("repl_interval", 0.1)),
+            anti_entropy_interval=float(
+                config.get("anti_entropy_interval", 5.0)
+            ),
         )
         server = node.server
     elif workers is not None and workers > 1:
@@ -1631,10 +1655,22 @@ def main(argv: list[str] | None = None) -> int:
             tau_sim=spec.get("tau_sim", 1.0), alpha_sim=spec.get("alpha_sim", 0.0)
         )
         context = SimulationContext(config=cc, driver=driver, perf=perf)
+        # Optional pacing for the built-in drivers: without it a synthetic
+        # re-simulation finishes in milliseconds, which makes blocked
+        # waiters (and therefore HA failover demos) impossible to observe
+        # on a live daemon.
+        delays = {
+            "alpha_delay": float(spec.get("alpha_delay", 0.0)),
+            "tau_delay": float(spec.get("tau_delay", 0.0)),
+        }
         if node is not None:
-            node.add_context(context, spec["output_dir"], spec["restart_dir"])
+            node.add_context(
+                context, spec["output_dir"], spec["restart_dir"], **delays
+            )
         else:
-            server.add_context(context, spec["output_dir"], spec["restart_dir"])
+            server.add_context(
+                context, spec["output_dir"], spec["restart_dir"], **delays
+            )
             if data_server is not None:
                 data_server.add_context(spec["name"], spec["output_dir"])
     service = node if node is not None else server

@@ -251,6 +251,108 @@ class ContextShard:
                 "alpha_estimate": self.alpha_ema.value,
             }
 
+    def capture_repl_state(self) -> dict:
+        """JSON-serializable snapshot of the shard's warm state — what a
+        replica needs to promote itself into a working owner: attached
+        clients, the waiter table, cache-resident keys (storage metadata),
+        running/queued re-simulation progress markers, and the restart
+        latency estimate.  Read-only: unlike :meth:`capture_handoff` the
+        shard keeps serving (this is the replication stream's source, not
+        an ownership handoff)."""
+        with self.lock:
+            sims = [
+                {
+                    "start": sim.start_restart,
+                    "stop": sim.stop_restart,
+                    "level": sim.parallelism_level,
+                    "prefetch": sim.is_prefetch,
+                    "owner": sim.owner_client,
+                    "produced": sorted(sim.produced_keys),
+                }
+                for sim in list(self.sims.values())
+                + [s for s in self.pending_jobs if not s.killed]
+            ]
+            return {
+                "clients": sorted(self.agents),
+                "waiters": sorted(
+                    (client_id, self.context.filename_of(key))
+                    for key, waiting in self.waiters.items()
+                    for client_id in waiting
+                ),
+                "resident": sorted(self.area.keys()),
+                "sims": sims,
+                "alpha": self.alpha_ema.value,
+                "alpha_count": self.alpha_ema.count,
+            }
+
+    def restore_repl_state(self, state: dict, now: float) -> list[Notification]:
+        """Promotion: rebuild this shard's control plane from a replicated
+        snapshot (the inverse of :meth:`capture_repl_state`).
+
+        Re-attaches clients, re-registers every replicated waiter through
+        the normal open path (relaunching demand re-simulations for files
+        not on disk), and relaunches in-flight re-simulations whose
+        planned outputs have not materialized.  Returns ready
+        notifications for waited files already on disk — the caller
+        delivers those to the blocked clients immediately; the rest flow
+        through the shard's normal notify path when their simulations
+        produce them."""
+        ready: list[Notification] = []
+        with self.lock:
+            alpha = state.get("alpha")
+            if (
+                isinstance(alpha, (int, float))
+                and state.get("alpha_count")
+                and self.alpha_ema.count == 0
+            ):
+                # Seed the latency estimate with the dead owner's learned
+                # value instead of restarting the EMA from optimism.
+                self.alpha_ema.observe(float(alpha))
+            for client_id in state.get("clients", ()):
+                if client_id not in self.agents:
+                    self.client_connect(client_id)
+            for entry in state.get("waiters", ()):
+                client_id, filename = entry[0], entry[1]
+                if client_id not in self.agents:
+                    self.client_connect(client_id)
+                result = self.handle_open(client_id, filename, now)
+                if result.available:
+                    ready.append(
+                        Notification(client_id, self.name, filename, ok=True)
+                    )
+            for marker in state.get("sims", ()):
+                # Resume interrupted re-simulations (prefetches included):
+                # _launch plans only keys still missing, so progress the
+                # dead owner already banked is not re-simulated.
+                try:
+                    start = int(marker["start"])
+                    stop = int(marker["stop"])
+                    level = int(marker.get("level", 1))
+                except (KeyError, TypeError, ValueError):
+                    continue
+                owner = marker.get("owner")
+                if (
+                    owner is not None
+                    and owner not in self.agents
+                    and bool(marker.get("prefetch", False))
+                ):
+                    continue  # prefetch for a client that is gone: skip
+                missing = [
+                    k
+                    for k in self.context.geometry.outputs_between_restarts(
+                        start, stop
+                    )
+                    if k not in self.area and k not in self.in_flight
+                ]
+                if not missing:
+                    continue  # fully materialized or already relaunched
+                self._launch(
+                    start, stop, level=level, now=now,
+                    is_prefetch=bool(marker.get("prefetch", False)),
+                    owner=owner if owner in self.agents else None,
+                )
+        return ready
+
     def capture_handoff(self) -> tuple[list[str], list[tuple[str, str]]]:
         """Atomically capture client state for an ownership handoff.
 

@@ -114,7 +114,8 @@ class TestDvStats:
         finally:
             server.stop()
 
-    @pytest.mark.parametrize("command", ["dv-stats", "cluster-status"])
+    @pytest.mark.parametrize("command", ["dv-stats", "cluster-status",
+                                         "ha-status"])
     def test_connection_failure_exits_nonzero(self, command, capsys):
         from tests.integration.conftest import free_port
 

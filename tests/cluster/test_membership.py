@@ -93,3 +93,146 @@ class TestLiveness:
         assert b.merge_view(a.view())
         assert b.alive_ids() == ["n1", "n2", "n9"]
         assert not b.get("n3").alive
+
+
+class TestMergeViewEdgeCases:
+    """The corners failover correctness hangs on: generation ties, death
+    rumors racing resurrections, flapping peers, and merges racing
+    upserts from another thread."""
+
+    def test_generation_tie_alive_rumor_cannot_resurrect(self):
+        """Equal generation: dead beats alive, in both merge orders."""
+        table = make_table()
+        assert table.merge_view([{"id": "n2", "gen": 1, "alive": False}])
+        # An alive rumor at the same generation arrives late (a peer with
+        # a stale view gossips back): the death verdict must stick.
+        assert not table.merge_view([{"id": "n2", "gen": 1, "alive": True}])
+        assert not table.get("n2").alive
+        # And the reverse order: alive first (no-op), then the death.
+        fresh = make_table()
+        assert not fresh.merge_view([{"id": "n3", "gen": 1, "alive": True}])
+        assert fresh.merge_view([{"id": "n3", "gen": 1, "alive": False}])
+        assert not fresh.get("n3").alive
+
+    def test_generation_tie_never_updates_address(self):
+        """Only a strictly newer generation may rebind host:port — an
+        equal-generation rumor carrying a different address is noise."""
+        table = make_table()
+        table.merge_view([
+            {"id": "n2", "gen": 1, "alive": True,
+             "host": "evil", "port": 6666},
+        ])
+        peer = table.get("n2")
+        assert (peer.host, peer.port) == ("hostB", 1002)
+
+    def test_death_rumor_loses_to_newer_generation_resurrection(self):
+        """A restarted peer (gen+1) must come back even when the death
+        rumor about its previous life arrives *after* its rebirth."""
+        table = make_table()
+        # Ring-neutral (n2 was already alive), so merge_view says False,
+        # but the generation must advance.
+        assert not table.merge_view([{"id": "n2", "gen": 2, "alive": True}])
+        assert table.get("n2").generation == 2
+        # Late death rumor about generation 1: stale, ignored.
+        assert not table.merge_view([{"id": "n2", "gen": 1, "alive": False}])
+        peer = table.get("n2")
+        assert peer.alive and peer.generation == 2
+
+    def test_newer_generation_death_beats_older_alive(self):
+        """Rumors about a life we have not even seen alive yet: a gen-3
+        death outranks the gen-2 entry we hold."""
+        table = make_table()
+        table.merge_view([{"id": "n2", "gen": 2, "alive": True}])
+        assert table.merge_view([{"id": "n2", "gen": 3, "alive": False}])
+        assert not table.get("n2").alive
+        # ...and the same-generation alive echo cannot undo it.
+        assert not table.merge_view([{"id": "n2", "gen": 3, "alive": True}])
+        assert not table.get("n2").alive
+
+    def test_flapping_peer_crosses_suspect_threshold_only_when_consecutive(self):
+        """Misses interleaved with successes never kill; only a full run
+        of suspect_after consecutive misses does."""
+        table = make_table(suspect_after=3)
+        for _ in range(5):
+            assert not table.heartbeat_missed("n2")
+            assert not table.heartbeat_missed("n2")
+            table.heartbeat_ok("n2")  # flap back before the third miss
+            assert table.get("n2").alive
+        assert not table.heartbeat_missed("n2")
+        assert not table.heartbeat_missed("n2")
+        assert table.heartbeat_missed("n2")  # third consecutive: dead
+        assert not table.get("n2").alive
+        # Once dead, further misses are no-ops (no double verdicts).
+        assert not table.heartbeat_missed("n2")
+
+    def test_flapping_peer_resurrected_by_contact_needs_full_run_again(self):
+        table = make_table(suspect_after=2)
+        table.heartbeat_missed("n2")
+        table.heartbeat_missed("n2")
+        assert not table.get("n2").alive
+        assert table.mark_alive("n2")
+        # The miss counter was reset by the resurrection: one more miss
+        # alone must not re-kill it.
+        assert not table.heartbeat_missed("n2")
+        assert table.get("n2").alive
+        assert table.heartbeat_missed("n2")
+        assert not table.get("n2").alive
+
+    def test_merge_under_concurrent_upsert(self):
+        """Gossip merges race seed upserts on the live node (both run on
+        worker threads).  The table itself is only mutated under the
+        node's lock, but the *logical* race — merge of a view mentioning
+        a node that an upsert just added with different details — must
+        converge: the higher generation wins regardless of order."""
+        import itertools
+
+        merge_entry = {"id": "n9", "gen": 3, "alive": False,
+                       "host": "hostM", "port": 9999}
+        for first, second in itertools.permutations(("merge", "upsert")):
+            table = make_table()
+            for action in (first, second):
+                if action == "merge":
+                    table.merge_view([dict(merge_entry)])
+                else:
+                    table.upsert("n9", "hostU", 9001, generation=2)
+            peer = table.get("n9")
+            assert peer.generation == 3
+            assert not peer.alive
+            assert (peer.host, peer.port) == ("hostM", 9999)
+
+    def test_merge_under_interleaved_upsert_threads(self):
+        """Hammer merge_view and upsert from two threads (each call under
+        a lock, interleaving arbitrary): the table must end consistent —
+        every peer present, the max generation retained, no exception."""
+        import threading
+
+        table = make_table()
+        lock = threading.Lock()
+        errors = []
+
+        def merger():
+            try:
+                for gen in range(1, 200):
+                    with lock:
+                        table.merge_view(
+                            [{"id": "nX", "gen": gen, "alive": gen % 3 != 0}]
+                        )
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def upserter():
+            try:
+                for gen in range(1, 200):
+                    with lock:
+                        table.upsert("nX", "hostX", 7777, generation=gen)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=merger),
+                   threading.Thread(target=upserter)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert table.get("nX").generation == 199

@@ -1,0 +1,217 @@
+"""DES failure-schedule scenarios for the HA tier (virtual time).
+
+Mirrors the live acceptance invariants of the replication tier through
+:class:`repro.des.components.VirtualCluster` with ``replication_factor``:
+a blocked waiter survives its owner's death via the promoted replica
+(hot path, ``promote_delay``), waiters younger than ``repl_lag`` fall
+back to the cold detection path, healing re-arms replicas at
+``heal_rate``, and a double failure that beats healing degrades to the
+cold path — all with zero client-visible errors.
+"""
+
+import pytest
+
+from repro.core.errors import InvalidArgumentError
+from repro.des.components import VirtualCluster
+from tests.des.test_cluster_scenarios import build_context
+
+
+def ha_cluster(factor=2, detect_delay=2.0, promote_delay=0.1,
+               repl_lag=0.05, heal_rate=10.0, node_ids=("a", "b", "c")):
+    return VirtualCluster(
+        node_ids=node_ids, detect_delay=detect_delay,
+        replication_factor=factor, promote_delay=promote_delay,
+        repl_lag=repl_lag, heal_rate=heal_rate,
+    )
+
+
+def blocked_waiter_scenario(cluster, fail_at, kill=None):
+    """One analysis blocked on its first open; the context's owner (or
+    ``kill``) dies at ``fail_at`` while the re-simulation is warming up
+    (alpha_sim=30 means nothing is ready before t=35)."""
+    context = build_context("ctx-ha")
+    cluster.add_context(context)
+    victim = kill or cluster.owner_of("ctx-ha")
+    analysis = cluster.add_analysis(
+        context, keys=list(range(1, 9)), tau_cli=1.0, client_id="ha-client",
+    )
+    cluster.schedule_failure(victim, at=fail_at)
+    cluster.run()
+    assert analysis.done  # the invariant: nobody hangs, nobody errors
+    return analysis, cluster.stats()
+
+
+class TestHAParams:
+    def test_invalid_factor_and_heal_rate_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            VirtualCluster(replication_factor=0)
+        with pytest.raises(InvalidArgumentError):
+            VirtualCluster(replication_factor=2, heal_rate=0.0)
+
+    def test_factor_one_keeps_the_cold_path_untouched(self):
+        analysis, stats = blocked_waiter_scenario(
+            ha_cluster(factor=1), fail_at=10.0
+        )
+        repl = stats["replication"]
+        assert repl["factor"] == 1
+        assert repl["promotions"] == 0
+        assert repl["hot_restored_waiters"] == 0
+        assert stats["replayed_waits"] >= 1
+
+
+class TestHotFailover:
+    def test_promoted_replica_replays_the_blocked_waiter(self):
+        """The acceptance scenario on the virtual clock: the waiter is
+        10 s old at the kill (>> repl_lag), so the replica holds it and
+        the replay happens at promote_delay, not detect_delay."""
+        analysis, stats = blocked_waiter_scenario(
+            ha_cluster(factor=2), fail_at=10.0
+        )
+        repl = stats["replication"]
+        assert repl["promotions"] == 1
+        assert repl["hot_restored_waiters"] >= 1
+        assert repl["lost_waiters"] == 0
+        assert stats["replayed_waits"] >= 1
+
+    def test_hot_failover_saves_exactly_the_detection_gap(self):
+        """Same failure, same clocks: the replicated run finishes earlier
+        by detect_delay - promote_delay (the whole point of the HA tier)."""
+        detect, promote = 8.0, 0.25
+        cold, _ = blocked_waiter_scenario(
+            ha_cluster(factor=1, detect_delay=detect, promote_delay=promote),
+            fail_at=10.0,
+        )
+        hot, _ = blocked_waiter_scenario(
+            ha_cluster(factor=2, detect_delay=detect, promote_delay=promote),
+            fail_at=10.0,
+        )
+        saved = cold.running_time - hot.running_time
+        assert saved == pytest.approx(detect - promote, rel=1e-6)
+
+    def test_waiter_younger_than_repl_lag_is_lost_to_the_cold_path(self):
+        """The owner dies before the waiter could reach the replica: the
+        promotion still happens (the context state was replicated long
+        ago) but that waiter replays cold and is counted lost."""
+        analysis, stats = blocked_waiter_scenario(
+            ha_cluster(factor=2, repl_lag=5.0), fail_at=2.0
+        )
+        repl = stats["replication"]
+        assert repl["promotions"] == 1
+        assert repl["hot_restored_waiters"] == 0
+        assert repl["lost_waiters"] >= 1
+
+    def test_scenario_is_deterministic(self):
+        runs = [
+            blocked_waiter_scenario(ha_cluster(factor=2), fail_at=10.0)
+            for _ in range(2)
+        ]
+        assert runs[0][0].running_time == runs[1][0].running_time
+        assert runs[0][1] == runs[1][1]
+
+
+class TestHealing:
+    def test_replica_death_heals_without_promotion(self):
+        """Kill a node that only *receives* replication streams: owners
+        keep serving (no promotion) but every context that streamed to
+        the dead node re-replicates at heal_rate."""
+        cluster = ha_cluster(factor=2)
+        contexts = [build_context(f"ctx{i}") for i in range(6)]
+        for context in contexts:
+            cluster.add_context(context)
+        # Pick a victim owning nothing if possible; otherwise accept the
+        # promotions and still check healing re-armed every context.
+        owners = {cluster.owner_of(c.name) for c in contexts}
+        victims = [n for n in cluster.nodes if n not in owners]
+        victim = victims[0] if victims else sorted(cluster.nodes)[0]
+        analyses = [
+            cluster.add_analysis(c, keys=list(range(1, 6)), tau_cli=1.0)
+            for c in contexts
+        ]
+        cluster.schedule_failure(victim, at=10.0)
+        cluster.run()
+        stats = cluster.stats()
+        repl = stats["replication"]
+        assert all(a.done for a in analyses)
+        if victims:
+            assert repl["promotions"] == 0
+        assert repl["healed"] >= 1
+        # Full factor restored everywhere: 3 nodes - 1 dead leaves room
+        # for one replica per context.
+        assert all(n == 1 for n in repl["replicas_ok"].values())
+
+    def test_double_failure_after_healing_stays_hot(self):
+        """Kill the owner, let healing finish, then kill the promoted
+        owner too: the re-armed replica promotes again — still zero
+        lost waiters."""
+        cluster = ha_cluster(factor=2, detect_delay=2.0, heal_rate=10.0)
+        context = build_context("ctx-ha")
+        cluster.add_context(context)
+        first = cluster.owner_of("ctx-ha")
+        analysis = cluster.add_analysis(
+            context, keys=list(range(1, 9)), tau_cli=1.0, client_id="ha-client",
+        )
+        cluster.schedule_failure(first, at=10.0)
+        # Healing completes by 10 + 2.0 + 1/10 = 12.1; the second kill at
+        # t=60 (mid-workload, long after) must find a synced replica.
+        cluster.engine.schedule_at(
+            59.0, lambda: cluster.schedule_failure(
+                cluster.owner_of("ctx-ha"), at=60.0
+            )
+        )
+        cluster.run()
+        stats = cluster.stats()
+        repl = stats["replication"]
+        assert analysis.done
+        assert repl["promotions"] == 2
+        assert repl["healed"] >= 1
+        assert repl["lost_waiters"] == 0
+
+    def test_double_failure_before_healing_degrades_to_cold(self):
+        """heal_rate so slow the second kill lands before re-replication:
+        no synced replica remains, the waiters replay cold and are
+        counted lost — the live tier's double-failure contract."""
+        cluster = ha_cluster(factor=2, detect_delay=2.0, heal_rate=0.001)
+        context = build_context("ctx-ha")
+        cluster.add_context(context)
+        first = cluster.owner_of("ctx-ha")
+        analysis = cluster.add_analysis(
+            context, keys=list(range(1, 9)), tau_cli=1.0, client_id="ha-client",
+        )
+        cluster.schedule_failure(first, at=10.0)
+        # Healing would complete at 10 + 2 + 1000 s; kill the promoted
+        # owner at t=20 while the context is still under-replicated.
+        cluster.engine.schedule_at(
+            19.0, lambda: cluster.schedule_failure(
+                cluster.owner_of("ctx-ha"), at=20.0
+            )
+        )
+        cluster.run()
+        stats = cluster.stats()
+        repl = stats["replication"]
+        assert analysis.done  # cold, but never hung
+        assert repl["promotions"] == 1  # second failure had nothing to promote
+        assert repl["lost_waiters"] >= 1
+
+    def test_factor_three_survives_owner_and_first_replica(self):
+        """The DES twin of the live double-failure test: with factor 3
+        both kills promote hot (the second successor still holds a
+        synced copy from the start)."""
+        cluster = ha_cluster(
+            factor=3, node_ids=("a", "b", "c", "d"), heal_rate=0.001,
+        )
+        context = build_context("ctx-ha")
+        cluster.add_context(context)
+        analysis = cluster.add_analysis(
+            context, keys=list(range(1, 9)), tau_cli=1.0, client_id="ha-client",
+        )
+        cluster.schedule_failure(cluster.owner_of("ctx-ha"), at=10.0)
+        cluster.engine.schedule_at(
+            10.5, lambda: cluster.schedule_failure(
+                cluster.owner_of("ctx-ha"), at=11.0
+            )
+        )
+        cluster.run()
+        repl = cluster.stats()["replication"]
+        assert analysis.done
+        assert repl["promotions"] == 2
+        assert repl["lost_waiters"] == 0

@@ -117,3 +117,48 @@ class TestMainConfig:
         server = captured["server"]
         assert "jsonctx" in server.coordinator.context_names()
         server.stop()
+
+    def test_config_paces_resimulations(self, tmp_path, monkeypatch):
+        """`alpha_delay`/`tau_delay` context keys must reach the launcher:
+        without pacing a synthetic re-simulation finishes in milliseconds
+        and a live daemon can never show a blocked waiter."""
+        from repro.dv import server as server_mod
+
+        config = {
+            "host": "127.0.0.1",
+            "port": 0,
+            "contexts": [
+                {
+                    "name": "paced",
+                    "simulator": "synthetic",
+                    "delta_d": 2,
+                    "delta_r": 8,
+                    "num_timesteps": 32,
+                    "output_dir": str(tmp_path / "out"),
+                    "restart_dir": str(tmp_path / "rst"),
+                    "alpha_delay": 1.25,
+                    "tau_delay": 0.5,
+                }
+            ],
+        }
+        config_path = tmp_path / "dv.json"
+        config_path.write_text(json.dumps(config))
+
+        captured = {}
+        real_start = DVServer.start
+
+        def fake_start(self):
+            real_start(self)
+            captured["server"] = self
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(DVServer, "start", fake_start)
+        try:
+            server_mod.main(["--config", str(config_path)])
+        except KeyboardInterrupt:
+            pass
+        server = captured["server"]
+        runtime = server.launcher._runtime("paced")
+        assert runtime.alpha_delay == 1.25
+        assert runtime.tau_delay == 0.5
+        server.stop()
