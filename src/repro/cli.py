@@ -24,6 +24,14 @@ Subcommands
     Query a cluster node's ``ha`` op and print the replication view
     (factor, per-context replica sets with sync state and lag, healing
     queue depth, last promotion) plus the ``repl.*`` metrics.
+``migrate``
+    Ask a cluster node to live-migrate a context to a destination node
+    (forwarded to the current owner automatically) and print the result
+    (waiters moved, freeze window, pin version).
+``rebalance-status``
+    Query a cluster node's ``rebalance`` op and print its placement pins,
+    in-flight/incoming migrations, autoscaler decisions and load sample,
+    plus the ``migrate.*`` metrics.
 """
 
 from __future__ import annotations
@@ -216,6 +224,107 @@ def _cmd_ha_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    from repro.client.dvlib import TcpConnection
+    from repro.core.errors import ConnectionLostError, SimFSError
+
+    try:
+        with TcpConnection(args.host, args.port, {}, {}) as conn:
+            reply = conn.call({
+                "op": "migrate", "context": args.context, "dest": args.dest,
+            })
+    except (ConnectionLostError, OSError) as exc:
+        detail = str(exc) if "cannot reach" in str(exc) else (
+            f"cannot reach node at {args.host}:{args.port}: {exc}")
+        print(f"simfs-ctl: {detail}", file=sys.stderr)
+        return 1
+    except SimFSError as exc:
+        print(f"simfs-ctl: migrate failed: {exc}", file=sys.stderr)
+        return 1
+    payload = {
+        k: v for k, v in reply.items() if k not in ("op", "req", "error")
+    }
+    result = payload.get("migrate") or {}
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    if result.get("noop"):
+        print(f"context {result.get('context')} already on"
+              f" {result.get('to')}")
+        return 0
+    print(f"migrated {result.get('context')}"
+          f" {result.get('from')} -> {result.get('to')}"
+          f" (pin v{result.get('pin_version')})")
+    print(f" waiters moved: {result.get('moved_waiters')}"
+          f"  clients moved: {result.get('moved_clients')}"
+          f"  sims resumed: {result.get('resumed_sims')}")
+    print(f" freeze: {result.get('freeze_seconds')}s"
+          f"  total: {result.get('total_seconds')}s"
+          f"  pre-copy frames: {result.get('precopy_frames')}")
+    return 0
+
+
+def _cmd_rebalance_status(args: argparse.Namespace) -> int:
+    from repro.client.dvlib import TcpConnection
+
+    try:
+        with TcpConnection(args.host, args.port, {}, {}) as conn:
+            reply = conn.call({"op": "rebalance"})
+    except _connect_errors() as exc:
+        detail = str(exc) if "cannot reach" in str(exc) else (
+            f"cannot reach node at {args.host}:{args.port}: {exc}")
+        print(f"simfs-ctl: {detail}", file=sys.stderr)
+        return 1
+    payload = {k: v for k, v in reply.items() if k not in ("op", "req", "error")}
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    view = payload.get("rebalance") or {}
+    print(f"node {view.get('self')} epoch={view.get('epoch')}")
+    pins = view.get("pins") or {}
+    for name, target in sorted(pins.items()):
+        print(f" pin {name} -> {target}")
+    if not pins:
+        print(" pins: none (pure hash placement)")
+    migration = view.get("migration") or {}
+    for name in migration.get("migrating") or []:
+        print(f" migrating out: {name}")
+    for name, entry in sorted((migration.get("incoming") or {}).items()):
+        print(f" incoming {name} src={entry.get('src')}"
+              f" seq={entry.get('seq')} waiters={entry.get('waiters')}")
+    last = migration.get("last_outgoing")
+    if last:
+        print(f" last outgoing: {last.get('context')} -> {last.get('to')}"
+              f" waiters={last.get('moved_waiters')}"
+              f" freeze={last.get('freeze_seconds')}s")
+    last = migration.get("last_incoming")
+    if last:
+        print(f" last incoming: {last.get('context')} <- {last.get('from')}"
+              f" restored_waiters={last.get('restored_waiters')}"
+              f"{' (partial)' if last.get('partial') else ''}")
+    scaler = view.get("autoscaler")
+    if scaler:
+        print(f" autoscaler: interval={scaler.get('interval')}s"
+              f" high={scaler.get('high')} low={scaler.get('low')}"
+              f" slo_p99_s={scaler.get('slo_p99_s')}")
+        for entry in scaler.get("last_decisions") or []:
+            fields = ", ".join(
+                f"{k}={v}" for k, v in sorted(entry.items()) if k != "action"
+            )
+            print(f"  decision {entry.get('action')}: {fields}")
+    else:
+        print(" autoscaler: off")
+    load = view.get("load") or {}
+    for name, depth in sorted((load.get("contexts") or {}).items()):
+        print(f" load {name}: waiters={depth.get('waiters')}"
+              f" sims={depth.get('sims')} queued={depth.get('queued')}")
+    print(f" p99 open: {load.get('p99_open_s')}s  msgs: {load.get('msgs')}")
+    print(" metrics:")
+    for line in _metric_lines(payload.get("metrics") or {}):
+        print(line)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="simfs-ctl", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -278,6 +387,24 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--json", action="store_true",
                    help="emit the raw HA payload as JSON")
     p.set_defaults(func=_cmd_ha_status)
+
+    p = sub.add_parser("migrate",
+                       help="live-migrate a context to another node")
+    p.add_argument("context", help="context name to move")
+    p.add_argument("dest", help="destination node id")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7878)
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw migrate payload as JSON")
+    p.set_defaults(func=_cmd_migrate)
+
+    p = sub.add_parser("rebalance-status",
+                       help="print a cluster node's migration/autoscaler view")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7878)
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw rebalance payload as JSON")
+    p.set_defaults(func=_cmd_rebalance_status)
 
     args = parser.parse_args(argv)
     return args.func(args)

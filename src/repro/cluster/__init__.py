@@ -13,6 +13,10 @@ installation; this package spreads contexts across peers:
   gateway-forwarding, ready-routing and failover machinery;
 * :mod:`repro.cluster.replication` — the HA tier: owner→replica state
   streaming with epoch fencing, hot promotion and background healing;
+* :mod:`repro.cluster.migrate` — :class:`MigrationManager`, live
+  context migration (pre-copy, cutover freeze, pinned placement);
+* :mod:`repro.cluster.autoscaler` — the decentralized metrics-driven
+  policy deciding when to migrate, grow, or shrink;
 * :mod:`repro.cluster.client` — :class:`ClusterConnection`, the
   one-hop cluster-aware DVLib connection.
 
@@ -21,9 +25,18 @@ which drives the same :class:`HashRing`/:class:`PeerTable` logic on the
 virtual clock for node-count sweeps and failure-schedule experiments.
 """
 
+from repro.cluster.autoscaler import (
+    Autoscaler,
+    AutoscalerPolicy,
+    Migrate,
+    NodeLoad,
+    ScaleDown,
+    ScaleUp,
+)
 from repro.cluster.client import ClusterConnection
 from repro.cluster.link import DialBackoff, PeerLink
 from repro.cluster.membership import PeerInfo, PeerTable
+from repro.cluster.migrate import MigrationManager
 from repro.cluster.node import ClusterNode, ContextSpec, parse_peer
 from repro.cluster.replication import ReplicaStore, ReplicationManager
 from repro.cluster.ring import HashRing
@@ -40,4 +53,11 @@ __all__ = [
     "ClusterConnection",
     "ReplicaStore",
     "ReplicationManager",
+    "MigrationManager",
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "NodeLoad",
+    "Migrate",
+    "ScaleUp",
+    "ScaleDown",
 ]

@@ -24,6 +24,7 @@ import threading
 import time
 
 from repro.client.dvlib import DVConnection, FileInfo, TcpConnection
+from repro.cluster.link import DialBackoff
 from repro.cluster.ring import HashRing
 from repro.core.errors import (
     ConnectionLostError,
@@ -73,6 +74,9 @@ class ClusterConnection(DVConnection):
         # watchdog replays these when the owner dies — a blocked waiter
         # issues no ops of its own, so op-triggered failover can't save it.
         self._waits: dict[tuple[str, str], str] = {}
+        # Spaces out failover retries per context / replay attempts per
+        # owner: a dead endpoint must not be hammered at a fixed cadence.
+        self._retry_backoff = DialBackoff(base=0.1, cap=2.0)
         self.ready_table.add_watcher(self._on_ready)
         self._refresh_ring()
         self._watchdog = threading.Thread(
@@ -92,19 +96,26 @@ class ClusterConnection(DVConnection):
         never come, and the blocked client issues no op that would
         trigger the normal failover path."""
         while not self._closed:
-            time.sleep(0.25)
+            time.sleep(0.1)
             if not self._waits or self._closed:
                 continue
             for (context, filename), owner in list(self._waits.items()):
                 conn = self._conns.get(owner)
                 if conn is not None and not conn.is_lost:
+                    self._retry_backoff.succeeded(f"wait:{owner}")
                     continue  # owner healthy: its ready is still coming
+                # A dead owner is probed on the capped-jitter backoff
+                # schedule, not once per poll tick.
+                if not self._retry_backoff.ready(f"wait:{owner}"):
+                    continue
                 try:
                     info = self._routed(
                         context, lambda c: c.open(context, filename)
                     )
                 except (ConnectionLostError, InvalidArgumentError, OSError):
-                    continue  # retried on the next tick
+                    self._retry_backoff.failed(f"wait:{owner}")
+                    continue  # retried once the backoff window passes
+                self._retry_backoff.succeeded(f"wait:{owner}")
                 if info.available:
                     # Landed on the shared PFS meanwhile (or the new
                     # owner sees it): resolve the blocked wait.
@@ -155,6 +166,11 @@ class ClusterConnection(DVConnection):
             if isinstance(node_id, str):
                 ring.add_node(node_id)
                 addrs[node_id] = (str(node.get("host")), int(node.get("port")))
+        # Migration placement pins ride along with the membership view so
+        # the client routes straight to a migrated context's new owner.
+        for name, target in (info.get("pins") or {}).items():
+            if isinstance(target, str) and target in ring:
+                ring.pin(str(name), target)
         if len(ring):
             with self._lock:
                 self._ring = ring
@@ -236,7 +252,9 @@ class ClusterConnection(DVConnection):
                 conn = self._conn_for_context(context)
                 if context in self._attached:
                     self._ensure_attached(context, conn)
-                return op(conn)
+                result = op(conn)
+                self._retry_backoff.succeeded(f"route:{context}")
+                return result
             except (ConnectionLostError, OSError) as exc:
                 if time.monotonic() >= deadline:
                     raise DVConnectionLost(
@@ -250,7 +268,11 @@ class ClusterConnection(DVConnection):
                     or time.monotonic() >= deadline
                 ):
                     raise
-            time.sleep(0.1)
+            # Capped-jitter backoff instead of a fixed cadence: repeated
+            # failures against the same dead owner space themselves out
+            # (never past the remaining failover budget).
+            delay = self._retry_backoff.failed(f"route:{context}")
+            time.sleep(max(0.0, min(delay, deadline - time.monotonic())))
             try:
                 self._refresh_ring()
             except DVConnectionLost:

@@ -44,8 +44,10 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.cluster.autoscaler import Autoscaler
 from repro.cluster.link import DialBackoff, PeerLink, PeerTimeout
 from repro.cluster.membership import PeerTable
+from repro.cluster.migrate import MigrationManager
 from repro.cluster.replication import ReplicationManager
 from repro.cluster.ring import HashRing
 from repro.core.context import SimulationContext
@@ -133,6 +135,8 @@ class ClusterNode:
         repl_interval: float = 0.1,
         anti_entropy_interval: float = 5.0,
         repl_frame_hook=None,
+        autoscale_policy=None,
+        autoscale_interval: float = 2.0,
     ) -> None:
         if replication_factor < 1:
             raise InvalidArgumentError(
@@ -244,6 +248,23 @@ class ClusterNode:
                 frame_hook=repl_frame_hook,
             )
 
+        #: Versioned placement pins (context -> (target | None, version)),
+        #: the migration overlay on the ring.  Gossip merges them with
+        #: higher-version-wins, so every node converges on the same
+        #: placement; a ``None`` target is a dissolved pin that must still
+        #: outrank the stale pin it replaced.
+        self._pin_versions: dict[str, tuple[str | None, int]] = {}
+        self._synced_epoch = -1
+        #: Live migration protocol, both halves (source and destination).
+        self.migration = MigrationManager(self)
+        #: Decentralized autoscaler: each node watches its own load plus
+        #: the peers' and migrates contexts *it* owns when saturated.
+        self.autoscaler: Autoscaler | None = None
+        if autoscale_policy is not None:
+            self.autoscaler = Autoscaler(
+                self, autoscale_policy, interval=autoscale_interval
+            )
+
         self.server.register_op(
             OP_FWD, self._op_fwd, reply_op="fwd_reply", needs_worker=True
         )
@@ -253,6 +274,13 @@ class ClusterNode:
         self.server.register_op("cluster", self._op_cluster, needs_worker=True)
         self.server.register_op("repl", self._op_repl, needs_worker=True)
         self.server.register_op("ha", self._op_ha, needs_worker=True)
+        # Migration control/data frames and the load/rebalance probes all
+        # take the cluster lock (and migrate crosses the wire) — workers.
+        self.server.register_op("migrate", self._op_migrate, needs_worker=True)
+        self.server.register_op("load", self._op_load, needs_worker=True)
+        self.server.register_op(
+            "rebalance", self._op_rebalance, needs_worker=True
+        )
         if self.engine is not None:
             # The real shards live in the pool: a client's `stats` must
             # show the merged executor view, not this node's empty
@@ -338,11 +366,15 @@ class ClusterNode:
         self._hb_thread.start()
         if self.repl is not None:
             self.repl.start()
+        if self.autoscaler is not None:
+            self.autoscaler.start()
 
     def stop(self, drain_timeout: float = 5.0) -> None:
         """Tear the node down (abruptly from the peers' point of view —
         survivors notice through heartbeats, exactly like a crash)."""
         self._stop.set()
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
         if self.repl is not None:
             self.repl.stop()
         if self._hb_thread is not None:
@@ -381,17 +413,33 @@ class ClusterNode:
         waiter replays and replica promotions the caller must run *after*
         releasing the lock (they cross the wire)."""
         alive = set(self.table.alive_ids())
-        changed = False
         for node_id in self.ring.nodes():
             if node_id not in alive:
-                changed |= self.ring.remove_node(node_id)
+                self.ring.remove_node(node_id)
         for node_id in sorted(alive):
             if node_id not in self.ring:
-                changed |= self.ring.add_node(node_id)
+                self.ring.add_node(node_id)
+        # Placement pins: a pin whose target died dissolves at a *higher*
+        # version (every survivor computes the same version, so gossip
+        # converges and the stale pin can never resurrect); a pin whose
+        # target just joined the ring is (re-)applied.
+        ring_pins = self.ring.pins()
+        for name, (target, version) in list(self._pin_versions.items()):
+            if target is not None and target not in alive:
+                self._pin_versions[name] = (None, version + 1)
+                self.ring.unpin(name)
+            elif target is not None and ring_pins.get(name) != target:
+                self.ring.pin(name, target)
+        # Pre-copied migration state whose source died while the ring
+        # assigned the context elsewhere is stale — drop it.
+        self.migration.prune(alive, self.ring.owner)
         self._m_epoch.set(self.ring.epoch)
         self._m_peers.set(len(alive))
-        if not changed:
+        # Membership *or* pin movement both bump the epoch; either one
+        # must re-run the activation reconcile below.
+        if self.ring.epoch == self._synced_epoch:
             return [], [], []
+        self._synced_epoch = self.ring.epoch
         if self.repl is not None:
             # Membership moved: re-replication from here on is healing.
             self.repl.schedule_heal()
@@ -402,10 +450,13 @@ class ClusterNode:
             owner = self.ring.owner(name)
             if owner == self.node_id and name not in self._active:
                 self._activate(name)
-                if self.repl is not None and self.repl.store.has(name):
-                    # We hold replicated state for the context we just
-                    # inherited: hot promotion (runs on the replay
-                    # thread, outside this lock).
+                if (
+                    self.repl is not None and self.repl.store.has(name)
+                ) or self.migration.has_incoming(name):
+                    # We hold warm state for the context we just
+                    # inherited — a replica stream or a pre-copied
+                    # migration handoff whose source died: hot promotion
+                    # (runs on the replay thread, outside this lock).
                     promotions.append(name)
             elif owner != self.node_id and name in self._active:
                 attached, waits = self._deactivate(name)
@@ -496,9 +547,13 @@ class ClusterNode:
     def _gossip_round(self) -> None:
         with self._lock:
             view = self.table.view()
+            pins = self._pins_wire()
             targets = list(self.table.alive_peers())
             known_addrs = {(p.host, p.port) for p in self.table.peers.values()}
-        frame = {"op": OP_GOSSIP, "from": self.node_id, "view": view}
+        frame = {
+            "op": OP_GOSSIP, "from": self.node_id,
+            "view": view, "pins": pins,
+        }
         for peer in targets:
             if self._stop.is_set():
                 return
@@ -514,10 +569,13 @@ class ClusterNode:
                 continue
             self._m_gossip.inc()
             peer_view = reply.get("view") or []
+            peer_pins = reply.get("pins") or []
             self._apply_membership(
-                lambda peer_id=peer.node_id, peer_view=peer_view: (
+                lambda peer_id=peer.node_id, peer_view=peer_view,
+                peer_pins=peer_pins: (
                     self.table.heartbeat_ok(peer_id, now=time.time()),
-                    self.table.merge_view(peer_view, now=time.time()),
+                    self.table.merge_view(peer_view, now=time.time())
+                    | self._merge_pins(peer_pins),
                 )[1]
             )
         # Probe dead peers too: if both sides declared each other dead
@@ -553,10 +611,13 @@ class ClusterNode:
                 probe.close()
             self._dial_backoff.succeeded(peer.node_id)
             peer_view = reply.get("view") or []
+            peer_pins = reply.get("pins") or []
             self._apply_membership(
-                lambda peer_id=peer.node_id, peer_view=peer_view: (
+                lambda peer_id=peer.node_id, peer_view=peer_view,
+                peer_pins=peer_pins: (
                     self.table.mark_alive(peer_id, now=time.time())
                     | self.table.merge_view(peer_view, now=time.time())
+                    | self._merge_pins(peer_pins)
                 )
             )
         # Seeds configured as bare host:port — gossip once to learn ids.
@@ -681,15 +742,15 @@ class ClusterNode:
                 if owner == self.node_id and known and context not in self._active:
                     self._activate(context)
                     # A forwarded op can beat the heartbeat to the ring
-                    # change: promote replicated state here too, not only
-                    # from _sync_ring, or the first op after a failover
-                    # would see a cold shard.
+                    # change: promote warm state here too, not only from
+                    # _sync_ring, or the first op after a failover would
+                    # see a cold shard.
                     promote = (
                         self.repl is not None and self.repl.store.has(context)
-                    )
+                    ) or self.migration.has_incoming(context)
             if promote:
                 try:
-                    self.repl.promote(context)
+                    self._promote_warm(context)
                 except Exception:
                     pass
             if owner is None:
@@ -847,7 +908,7 @@ class ClusterNode:
         afterwards are idempotent re-registrations, not cold rebuilds."""
         for context_name in promotions:
             try:
-                self.repl.promote(context_name)
+                self._promote_warm(context_name)
             except Exception:
                 pass  # a failed promotion degrades to the cold path
         seen: set[tuple[str, str]] = set()
@@ -958,6 +1019,7 @@ class ClusterNode:
     # ------------------------------------------------------------------ #
     def _op_gossip(self, conn, message: dict) -> dict:
         view = message.get("view")
+        pins = message.get("pins")
         sender = message.get("from")
 
         def mutate() -> bool:
@@ -970,6 +1032,8 @@ class ClusterNode:
                 changed |= self.table.mark_alive(sender, now=time.time())
             if isinstance(view, list):
                 changed |= self.table.merge_view(view, now=time.time())
+            if isinstance(pins, list):
+                changed |= self._merge_pins(pins)
             return changed
 
         self._apply_membership(mutate)
@@ -977,6 +1041,7 @@ class ClusterNode:
             return {
                 "from": self.node_id,
                 "view": self.table.view(),
+                "pins": self._pins_wire(),
                 "epoch": self.ring.epoch,
             }
 
@@ -1009,6 +1074,166 @@ class ClusterNode:
             payload = self.repl.describe()
         payload["self"] = self.node_id
         return {"ha": payload, "metrics": self.metrics.snapshot("repl.")}
+
+    # ------------------------------------------------------------------ #
+    # Live migration (placement pins, the migrate op, load probes)
+    # ------------------------------------------------------------------ #
+    def _pins_wire(self) -> list[list]:
+        """Wire form of the pin table (called with the lock held): a
+        dissolved pin travels as an empty target so its higher version
+        still suppresses the stale pin on peers."""
+        return [
+            [name, target or "", version]
+            for name, (target, version) in sorted(self._pin_versions.items())
+        ]
+
+    def _adopt_pin(
+        self, context_name: str, target: str | None, version: int,
+        force: bool = False,
+    ) -> bool:
+        """Apply a pin observation if it outranks what we hold (called
+        with the lock held).  ``force`` accepts an equal version too —
+        the migration destination installing the pin it was handed."""
+        _cur, cur_version = self._pin_versions.get(context_name, (None, 0))
+        if version < cur_version or (version == cur_version and not force):
+            return False
+        target = target or None
+        self._pin_versions[context_name] = (target, version)
+        if target is not None and target in self.ring:
+            changed = self.ring.pin(context_name, target)
+        else:
+            changed = self.ring.unpin(context_name)
+        self._m_epoch.set(self.ring.epoch)
+        return changed
+
+    def _bump_pin(self, context_name: str, target: str) -> int:
+        """Install a new pin at the next version (called with the lock
+        held by the migration source at cutover); returns the version."""
+        _cur, cur_version = self._pin_versions.get(context_name, (None, 0))
+        version = cur_version + 1
+        self._pin_versions[context_name] = (target, version)
+        if target in self.ring:
+            self.ring.pin(context_name, target)
+        self._m_epoch.set(self.ring.epoch)
+        return version
+
+    def _merge_pins(self, entries) -> bool:
+        """Merge gossiped pin observations (called with the lock held)."""
+        changed = False
+        for entry in entries or ():
+            try:
+                name, target, version = entry[0], entry[1], int(entry[2])
+            except (TypeError, ValueError, IndexError):
+                continue
+            if not isinstance(name, str) or not isinstance(target, str):
+                continue
+            changed |= self._adopt_pin(name, target, version)
+        return changed
+
+    def _gossip_soon(self) -> None:
+        """Kick an immediate out-of-band gossip round (migration cutover
+        must not wait a heartbeat interval to advertise the new pin)."""
+
+        def run() -> None:
+            try:
+                self._gossip_round()
+            except Exception:
+                pass
+
+        threading.Thread(
+            target=run, name=f"cluster-gossip-now-{self.node_id}",
+            daemon=True,
+        ).start()
+
+    def _promote_warm(self, context_name: str) -> None:
+        """Warm-restore a context this node just inherited: replicated
+        state first (HA tier), else a pre-copied migration handoff whose
+        source died before the final frame."""
+        if self.repl is not None and self.repl.store.has(context_name):
+            try:
+                self.repl.promote(context_name)
+                return
+            except Exception:
+                pass
+        self.migration.promote_incoming(context_name)
+
+    def local_load(self) -> dict:
+        """This node's load sample for the autoscaler: per-context waiter
+        / running-sim / queued-job depth, open-latency p99, and the wire
+        message counter (rate is the sampler's job)."""
+        contexts: dict[str, dict] = {}
+        if self.engine is None:
+            for shard in self.server.coordinator.shards():
+                summary = shard.summary()
+                contexts[summary["context"]] = {
+                    "waiters": summary["waited_keys"],
+                    "sims": summary["running_sims"],
+                    "queued": summary["queued_jobs"],
+                }
+        snap = self.metrics.snapshot("op.open.seconds")
+        series = snap.get("op.open.seconds") or {}
+        frames = self.metrics.snapshot("wire.frames_recv")
+        return {
+            "node": self.node_id,
+            "contexts": contexts,
+            "p99_open_s": series.get("p99"),
+            "msgs": (frames.get("wire.frames_recv") or {}).get("value", 0),
+        }
+
+    def _op_migrate(self, conn, message: dict) -> dict:
+        """Server op, two roles: peer data frames (``kind`` set) feed the
+        destination half; control requests (``context``/``dest``) start a
+        migration, forwarded to the owner when that is not us."""
+        if message.get("kind"):
+            return self.migration.receive(message)
+        context = message.get("context")
+        dest = message.get("dest")
+        if not isinstance(context, str) or not isinstance(dest, str):
+            raise InvalidArgumentError(
+                "migrate needs a context and a dest node id"
+            )
+        with self._lock:
+            owner = (
+                self.ring.owner(context) if context in self._specs else None
+            )
+        if owner is None:
+            return {
+                "error": int(ErrorCode.ERR_CONTEXT),
+                "detail": f"no live node owns context {context!r}",
+            }
+        if owner == dest:
+            return {"migrate": {
+                "context": context, "from": owner, "to": dest, "noop": True,
+            }}
+        if owner != self.node_id:
+            reply = self._link_to(owner).call(
+                {"op": "migrate", "context": context, "dest": dest},
+                timeout=self.rpc_timeout,
+            )
+            return {k: v for k, v in reply.items() if k != "req"}
+        return {"migrate": self.migration.migrate(context, dest)}
+
+    def _op_load(self, conn, message: dict) -> dict:
+        return {"load": self.local_load()}
+
+    def _op_rebalance(self, conn, message: dict) -> dict:
+        """Server op: rebalance status (``simfs-ctl rebalance-status``)."""
+        with self._lock:
+            pins = self.ring.pins()
+            epoch = self.ring.epoch
+        return {
+            "rebalance": {
+                "self": self.node_id,
+                "epoch": epoch,
+                "pins": pins,
+                "migration": self.migration.describe(),
+                "autoscaler": (
+                    self.autoscaler.describe() if self.autoscaler else None
+                ),
+                "load": self.local_load(),
+            },
+            "metrics": self.metrics.snapshot("migrate."),
+        }
 
     def _capture_repl(self, context_name: str) -> dict | None:
         """Replication-pump hook: snapshot an owned shard's control-plane
@@ -1087,6 +1312,7 @@ class ClusterNode:
                 "contexts": {
                     name: self.ring.owner(name) for name in sorted(self._specs)
                 },
+                "pins": self.ring.pins(),
                 "active": sorted(self._active),
                 "replication": self.repl.factor if self.repl else 1,
                 "engine": (

@@ -14,6 +14,16 @@ daemon, every client, and the DES model compute the same owner for the
 same membership without talking to each other.  The ``epoch`` counter
 increments on every membership change; peers compare epochs during
 gossip to spot stale views cheaply.
+
+**Placement pins** overlay the hash: live migration moves a context to
+a node the hash would not pick, so the ring keeps an explicit
+``context → node`` override map.  ``owner()`` honours a pin whenever the
+pinned node is alive; ``successors()`` keeps the pinned owner at the
+head of the preference list and fills the rest by the normal hash walk,
+so replication and failover stay anchored to the ring even for migrated
+contexts.  A pin whose target leaves the ring dissolves — ownership
+falls back to pure hashing, which is exactly the pre-migration owner
+chain the failover paths already know how to handle.
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ class HashRing:
         self.epoch = 0
         self._nodes: set[str] = set()
         self._points: list[tuple[int, str]] = []  # sorted (hash, node_id)
+        self._pins: dict[str, str] = {}  # context_name -> pinned node_id
 
     def __contains__(self, node_id: str) -> bool:
         return node_id in self._nodes
@@ -74,11 +85,40 @@ class HashRing:
             return False
         self._nodes.discard(node_id)
         self._points = [p for p in self._points if p[1] != node_id]
+        for name in [n for n, pin in self._pins.items() if pin == node_id]:
+            del self._pins[name]
         self.epoch += 1
         return True
 
+    def pin(self, context_name: str, node_id: str) -> bool:
+        """Pin ``context_name`` to ``node_id`` (a migration placement
+        override); returns True when the placement actually changed."""
+        if node_id not in self._nodes:
+            raise InvalidArgumentError(
+                f"cannot pin {context_name!r} to unknown node {node_id!r}"
+            )
+        if self._pins.get(context_name) == node_id:
+            return False
+        self._pins[context_name] = node_id
+        self.epoch += 1
+        return True
+
+    def unpin(self, context_name: str) -> bool:
+        """Drop a pin; ownership reverts to pure hashing."""
+        if context_name not in self._pins:
+            return False
+        del self._pins[context_name]
+        self.epoch += 1
+        return True
+
+    def pins(self) -> dict[str, str]:
+        return dict(self._pins)
+
     def owner(self, context_name: str) -> str | None:
         """The node owning ``context_name`` (None on an empty ring)."""
+        pinned = self._pins.get(context_name)
+        if pinned is not None and pinned in self._nodes:
+            return pinned
         if not self._points:
             return None
         point = _hash64(context_name)
@@ -97,15 +137,18 @@ class HashRing:
             raise InvalidArgumentError(f"count must be >= 1, got {count}")
         if not self._points:
             return []
+        chosen: list[str] = []
+        pinned = self._pins.get(context_name)
+        if pinned is not None and pinned in self._nodes:
+            chosen.append(pinned)
         point = _hash64(context_name)
         start = bisect_right(self._points, (point, "￿"))
-        chosen: list[str] = []
         for offset in range(len(self._points)):
+            if len(chosen) == count:
+                break
             node_id = self._points[(start + offset) % len(self._points)][1]
             if node_id not in chosen:
                 chosen.append(node_id)
-                if len(chosen) == count:
-                    break
         return chosen
 
     def assignment(self, context_names: list[str]) -> dict[str, str]:

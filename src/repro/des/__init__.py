@@ -4,6 +4,9 @@ it, and the Sec. VI experiment runners (Figs. 16-19)."""
 from repro.des.components import (
     DESExecutor,
     VirtualAnalysis,
+    VirtualAutoscaler,
+    VirtualCluster,
+    VirtualClusterNode,
     VirtualDataPlane,
     VirtualSimFS,
     VirtualTransfer,
@@ -23,6 +26,9 @@ __all__ = [
     "LatencyPoint",
     "ScalingPoint",
     "VirtualAnalysis",
+    "VirtualAutoscaler",
+    "VirtualCluster",
+    "VirtualClusterNode",
     "VirtualDataPlane",
     "VirtualSimFS",
     "VirtualTransfer",

@@ -16,6 +16,13 @@ from dataclasses import dataclass, field
 
 import itertools
 
+from repro.cluster.autoscaler import (
+    AutoscalerPolicy,
+    Migrate,
+    NodeLoad,
+    ScaleDown,
+    ScaleUp,
+)
 from repro.cluster.membership import PeerTable
 from repro.cluster.ring import HashRing
 from repro.core.context import SimulationContext
@@ -31,6 +38,7 @@ __all__ = [
     "VirtualSimFS",
     "VirtualClusterNode",
     "VirtualCluster",
+    "VirtualAutoscaler",
     "VirtualTransfer",
     "VirtualDataPlane",
 ]
@@ -48,6 +56,9 @@ class DESExecutor:
         self.coordinator: DVCoordinator | None = None
         self._contexts: dict[str, SimulationContext] = {}
         self._events: dict[int, list[EventHandle]] = {}
+        #: per-sim production schedule in absolute virtual time, kept so
+        #: a migration can re-home the remaining work (see ``handoff``)
+        self._plans: dict[int, dict] = {}
         #: extra restart latency per job (models batch queueing time)
         self._queue_delay = queue_delay or (lambda: 0.0)
 
@@ -87,10 +98,53 @@ class DESExecutor:
             )
         )
         self._events[sim.sim_id] = handles
+        now = self.engine.now()
+        self._plans[sim.sim_id] = {
+            "context": context.name,
+            "productions": [
+                (now + alpha + position * tau, context.filename_of(key))
+                for position, key in enumerate(sim.planned_keys, start=1)
+            ],
+            "done_at": now + done_at,
+        }
 
     def kill(self, sim_id: int) -> None:
         for handle in self._events.pop(sim_id, []):
             handle.cancel()
+        self._plans.pop(sim_id, None)
+
+    def handoff(self, sim_id: int, new_sim_id: int,
+                dest: "DESExecutor") -> None:
+        """Re-home a running sim onto ``dest`` (a migration destination's
+        executor) under a fresh id: the remaining productions keep their
+        absolute completion times — the simulation *resumes*, it does not
+        restart."""
+        for handle in self._events.pop(sim_id, []):
+            handle.cancel()
+        plan = self._plans.pop(sim_id, None)
+        if plan is None:
+            return
+        now = self.engine.now()
+        remaining = [(at, fn) for at, fn in plan["productions"] if at >= now]
+        handles = [
+            dest.engine.schedule(
+                at - now,
+                dest._make_production(plan["context"], new_sim_id, filename),
+            )
+            for at, filename in remaining
+        ]
+        handles.append(dest.engine.schedule(
+            max(plan["done_at"] - now, 0.0),
+            lambda: dest.coordinator.sim_completed(
+                plan["context"], new_sim_id, dest.engine.now()
+            ),
+        ))
+        dest._events[new_sim_id] = handles
+        dest._plans[new_sim_id] = {
+            "context": plan["context"],
+            "productions": remaining,
+            "done_at": plan["done_at"],
+        }
 
     # ----------------------------------------------------------------------#
     def _make_production(self, context_name: str, sim_id: int, filename: str):
@@ -141,6 +195,9 @@ class VirtualAnalysis:
         self.hit_count = 0
         self.wait_time = 0.0
         self._wait_started = 0.0
+        #: per-access open latency (0.0 for hits, the blocked time for
+        #: misses) — the series SLO checks take percentiles over
+        self.open_latencies: list[float] = []
 
     @property
     def done(self) -> bool:
@@ -162,7 +219,9 @@ class VirtualAnalysis:
         if notification.filename != self._waiting_for:
             return
         self._waiting_for = None
-        self.wait_time += self.engine.now() - self._wait_started
+        waited = self.engine.now() - self._wait_started
+        self.wait_time += waited
+        self.open_latencies.append(waited)
         if not notification.ok:
             raise RuntimeError(
                 f"re-simulation failed for {notification.filename}"
@@ -191,6 +250,7 @@ class VirtualAnalysis:
         )
         if result.available:
             self.hit_count += 1
+            self.open_latencies.append(0.0)
             self._file_served(filename)
         else:
             self.miss_count += 1
@@ -427,6 +487,12 @@ class VirtualCluster:
         self.hot_restored_waiters = 0
         self.lost_waiters = 0
         self.healed = 0
+        self._queue_delay = queue_delay
+        self.migrations = 0
+        self.migrated_waiters = 0
+        self.resumed_sims = 0
+        self.joined = 0
+        self.drained = 0
 
     # ------------------------------------------------------------------ #
     def _target_replicas(self) -> int:
@@ -600,6 +666,152 @@ class VirtualCluster:
                 )
 
     # ------------------------------------------------------------------ #
+    # Elasticity: live migration, node join/drain, load sampling — the
+    # DES mirror of the migrate protocol and the autoscaler's actuators
+    # ------------------------------------------------------------------ #
+    def migrate_context(
+        self, context_name: str, dest: str, freeze: float = 0.0
+    ) -> int:
+        """Move a context to ``dest`` the way the live protocol does:
+        capture the waiter table, pin the placement on the ring, restore
+        the cache metadata on the destination and replay the captured
+        waiters there ``freeze`` virtual seconds later (the cutover
+        freeze + redirect window).  Hot by construction — no waiter is
+        lost, matching the live tier's zero-lost-replies contract.
+        Returns the number of waiters moved."""
+        if context_name not in self._specs:
+            raise InvalidArgumentError(f"unknown context {context_name!r}")
+        node = self.nodes.get(dest)
+        if node is None or not node.alive:
+            raise InvalidArgumentError(f"destination {dest!r} is not alive")
+        src = self._located[context_name]
+        if src == dest:
+            return 0
+        source = self.nodes[src]
+        context = self._specs[context_name]
+        shard = source.coordinator.shard(context_name)
+        with shard.lock:
+            captured = [
+                (client_id, context_name, context.filename_of(key))
+                for key, waiting in shard.waiters.items()
+                for client_id in waiting
+            ]
+            shard.waiters.clear()
+            resident = sorted(shard.area.keys())
+            # In-flight re-simulations migrate too (the live protocol's
+            # sims markers): pull them out before unregister kills them.
+            moving_sims = [s for s in shard.sims.values() if not s.done]
+            shard.sims.clear()
+            shard.in_flight.clear()
+        source.coordinator.unregister_context(context_name)
+        self.ring.pin(context_name, dest)
+        self._register_on(context_name, dest)
+        # Storage manifest handoff: the destination's cache starts warm
+        # with everything the source held (live: PFS scan + data-plane
+        # pull), so migrated clients keep their hits.
+        dest_shard = node.coordinator.shard(context_name)
+        with dest_shard.lock:
+            for key in resident:
+                if key not in dest_shard.area:
+                    dest_shard.area.insert(
+                        key, cost=float(context.geometry.miss_cost(key))
+                    )
+        for client_id, contexts in self._attachments.items():
+            if context_name in contexts:
+                node.coordinator.client_connect(client_id, context_name)
+        # Resume the moved sims on the destination executor: productions
+        # keep their absolute times, re-keyed under the destination's id
+        # space (per-coordinator counters would otherwise collide).
+        for sim in moving_sims:
+            with dest_shard.lock:
+                new_id = next(dest_shard._sim_ids)
+                source.executor.handoff(sim.sim_id, new_id, node.executor)
+                sim.sim_id = new_id
+                dest_shard.sims[new_id] = sim
+                for key in sim.planned_keys:
+                    if key not in dest_shard.area:
+                        dest_shard.in_flight.setdefault(key, new_id)
+            self.resumed_sims += 1
+        self.migrations += 1
+        self.migrated_waiters += len(captured)
+        if captured:
+            self.engine.schedule(freeze, lambda: self._replay(captured))
+        return len(captured)
+
+    def join_node(self, node_id: str) -> None:
+        """Add a fresh node (scale-up).  Every located context is pinned
+        in place first, so joining moves *nothing* implicitly — the ring
+        would otherwise cold-reassign hash ranges, losing shard state the
+        DES (like the live tier) only moves through migration.  The
+        autoscaler then sheds load onto the new node deliberately."""
+        if node_id in self.nodes and self.nodes[node_id].alive:
+            raise InvalidArgumentError(f"node {node_id!r} already present")
+        pins = self.ring.pins()
+        for name, where in self._located.items():
+            if pins.get(name) != where:
+                self.ring.pin(name, where)
+        self.nodes[node_id] = VirtualClusterNode(
+            node_id, self.engine, self._route, self._queue_delay
+        )
+        self.ring.add_node(node_id)
+        self.table.upsert(node_id, "virtual", 0)
+        self.joined += 1
+
+    def drain_node(self, node_id: str, freeze: float = 0.0) -> None:
+        """Gracefully decommission a node (scale-down): migrate every
+        context it hosts to the least-loaded survivor, then leave the
+        ring.  No failover counters move — nothing was lost."""
+        node = self.nodes.get(node_id)
+        if node is None or not node.alive:
+            raise InvalidArgumentError(f"node {node_id!r} is not alive")
+        survivors = [
+            other for other, n in self.nodes.items()
+            if n.alive and other != node_id
+        ]
+        if not survivors:
+            raise InvalidArgumentError(
+                "cannot drain the last live node of the virtual cluster"
+            )
+        hosted = sorted(
+            name for name, where in self._located.items() if where == node_id
+        )
+        for name in hosted:
+            placed = {
+                other: sum(
+                    1 for where in self._located.values() if where == other
+                )
+                for other in survivors
+            }
+            dest = min(survivors, key=lambda other: (placed[other], other))
+            self.migrate_context(name, dest, freeze=freeze)
+        node.alive = False
+        self.table.link_failed(node_id)
+        self.ring.remove_node(node_id)
+        self.drained += 1
+
+    def node_loads(self) -> list[NodeLoad]:
+        """Per-node load samples in :class:`AutoscalerPolicy`'s shape —
+        the DES equivalent of each live node's ``load`` op."""
+        loads = []
+        for node_id in sorted(self.nodes):
+            node = self.nodes[node_id]
+            if not node.alive:
+                continue
+            contexts: dict[str, float] = {}
+            for name, where in self._located.items():
+                if where != node_id:
+                    continue
+                shard = node.coordinator.shard(name)
+                with shard.lock:
+                    contexts[name] = float(
+                        sum(len(w) for w in shard.waiters.values())
+                        + len(shard.sims)
+                        + len(shard.pending_jobs)
+                    )
+            loads.append(NodeLoad(node_id, contexts))
+        return loads
+
+    # ------------------------------------------------------------------ #
     def run(self, until: float | None = None) -> float:
         return self.engine.run(until=until)
 
@@ -622,10 +834,16 @@ class VirtualCluster:
                 for node_id, node in self.nodes.items()
             },
             "epoch": self.ring.epoch,
+            "pins": dict(sorted(self.ring.pins().items())),
             "failovers": self.failovers,
             "replayed_waits": self.replayed_waits,
             "forwarded_ops": self.forwarded_ops,
             "total_ops": self.total_ops,
+            "migrations": self.migrations,
+            "migrated_waiters": self.migrated_waiters,
+            "resumed_sims": self.resumed_sims,
+            "joined": self.joined,
+            "drained": self.drained,
             "replication": {
                 "factor": self.replication_factor,
                 "promotions": self.promotions,
@@ -640,6 +858,86 @@ class VirtualCluster:
         analysis = self._analyses.get(notification.client_id)
         if analysis is not None:
             analysis.on_notification(notification)
+
+
+class VirtualAutoscaler:
+    """The autoscaler loop in virtual time: the *same*
+    :class:`~repro.cluster.autoscaler.AutoscalerPolicy` the live nodes
+    run, sampling :meth:`VirtualCluster.node_loads` every ``tick``
+    virtual seconds and actuating through the cluster's elasticity
+    methods.  Unlike a live node (which can only migrate and hint), the
+    DES is omniscient and owns the hardware: ``ScaleUp`` joins fresh
+    nodes and ``ScaleDown`` drains them, so scale scenarios (diurnal
+    load, flash crowds, 1→8→2 sweeps) run end to end.
+
+    Ticks are pre-scheduled up to ``until`` and stop there, keeping
+    ``engine.run()`` termination deterministic (the
+    :class:`VirtualDataPlane` self-stopping pattern, bounded instead of
+    demand-driven because the sampler must observe idleness too).
+    """
+
+    def __init__(
+        self,
+        cluster: VirtualCluster,
+        policy: AutoscalerPolicy,
+        tick: float = 1.0,
+        freeze: float = 0.05,
+        max_nodes: int = 16,
+    ) -> None:
+        if tick <= 0:
+            raise InvalidArgumentError(f"tick must be > 0, got {tick}")
+        self.cluster = cluster
+        self.policy = policy
+        self.tick = tick
+        self.freeze = freeze
+        self.max_nodes = max_nodes
+        self._next_id = itertools.count(1)
+        self.started = False
+        #: (virtual time, decision record) log for scenario assertions
+        self.history: list[tuple[float, dict]] = []
+
+    def start(self, until: float) -> None:
+        """Schedule sampling ticks over ``(0, until]``."""
+        if self.started:
+            raise InvalidArgumentError("autoscaler already started")
+        self.started = True
+        ticks = int(until / self.tick)
+        for position in range(1, ticks + 1):
+            self.cluster.engine.schedule_at(position * self.tick, self._tick)
+
+    def _tick(self) -> None:
+        decisions = self.policy.decide(self.cluster.node_loads())
+        now = self.cluster.engine.now()
+        for decision in decisions:
+            if isinstance(decision, Migrate):
+                moved = self.cluster.migrate_context(
+                    decision.context, decision.dest, freeze=self.freeze
+                )
+                self.history.append((now, {
+                    "action": "migrate", "context": decision.context,
+                    "src": decision.src, "dest": decision.dest,
+                    "waiters": moved,
+                }))
+            elif isinstance(decision, ScaleUp):
+                alive = sum(1 for n in self.cluster.nodes.values() if n.alive)
+                for _ in range(decision.count):
+                    if alive >= self.max_nodes:
+                        break
+                    node_id = f"scale-{next(self._next_id)}"
+                    self.cluster.join_node(node_id)
+                    alive += 1
+                    self.history.append(
+                        (now, {"action": "scale_up", "node": node_id})
+                    )
+            elif isinstance(decision, ScaleDown):
+                node = self.cluster.nodes.get(decision.node_id)
+                if node is not None and node.alive:
+                    self.cluster.drain_node(
+                        decision.node_id, freeze=self.freeze
+                    )
+                    self.history.append((now, {
+                        "action": "scale_down", "node": decision.node_id,
+                    }))
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,125 @@
+"""Unit tests for the deterministic autoscaler policy."""
+
+from repro.cluster.autoscaler import (
+    AutoscalerPolicy,
+    Migrate,
+    NodeLoad,
+    ScaleDown,
+    ScaleUp,
+)
+
+
+def load(node_id, p99=None, **contexts):
+    return NodeLoad(node_id, dict(contexts), p99)
+
+
+class TestNodeLoad:
+    def test_score_sums_contexts(self):
+        assert load("n1", a=2.0, b=3.0).score == 5.0
+        assert load("n1").score == 0.0
+
+    def test_from_sample_parses_load_op_reply(self):
+        sample = {
+            "node": "n1",
+            "contexts": {
+                "ctx": {"waiters": 3, "sims": 1, "queued": 2},
+                "idle": {"waiters": 0, "sims": 0, "queued": 0},
+            },
+            "p99_open_s": 0.25,
+            "msgs_recv": 100,
+        }
+        parsed = NodeLoad.from_sample(sample)
+        assert parsed.node_id == "n1"
+        assert parsed.contexts == {"ctx": 6.0, "idle": 0.0}
+        assert parsed.p99_open_s == 0.25
+
+
+class TestPolicy:
+    def test_quiet_cluster_no_decision(self):
+        policy = AutoscalerPolicy(high=8.0, low=1.0, min_nodes=1)
+        assert policy.decide([load("n1", a=3.0), load("n2", b=2.0)]) == []
+
+    def test_migrates_hottest_context_to_coldest_node(self):
+        policy = AutoscalerPolicy(high=8.0, low=1.0)
+        decisions = policy.decide([
+            load("n1", a=6.0, b=5.0),
+            load("n2", c=0.5),
+            load("n3", d=2.0),
+        ])
+        assert decisions == [Migrate("a", "n1", "n2")]
+
+    def test_ties_break_lexicographically(self):
+        policy = AutoscalerPolicy(high=8.0, low=1.0)
+        decisions = policy.decide([
+            load("n2", a=6.0, b=6.0),
+            load("n1", c=6.0, d=6.0),
+            load("n3"),
+            load("n4"),
+        ])
+        # n1 < n2 would lose the max; hottest src is the *highest* id on
+        # equal score, coldest dest the lowest.
+        assert decisions == [Migrate("b", "n2", "n3")]
+
+    def test_cooldown_suppresses_next_ticks(self):
+        policy = AutoscalerPolicy(high=8.0, low=1.0, cooldown_ticks=2)
+        loads = [load("n1", a=6.0, b=5.0), load("n2")]
+        assert policy.decide(loads) != []
+        assert policy.decide(loads) == []
+        assert policy.decide(loads) == []
+        assert policy.decide(loads) != []
+
+    def test_all_saturated_asks_for_scale_up(self):
+        policy = AutoscalerPolicy(high=4.0, low=1.0)
+        decisions = policy.decide([
+            load("n1", a=6.0), load("n2", b=7.0),
+        ])
+        assert decisions == [ScaleUp(1)]
+
+    def test_slo_breach_saturates_even_at_low_score(self):
+        policy = AutoscalerPolicy(high=100.0, low=0.0, slo_p99_s=0.1)
+        decisions = policy.decide([
+            load("n1", p99=0.5, a=3.0),
+            load("n2", p99=0.01),
+        ])
+        assert decisions == [Migrate("a", "n1", "n2")]
+
+    def test_slo_breach_without_queued_work_is_not_migrated(self):
+        policy = AutoscalerPolicy(high=100.0, low=0.0, slo_p99_s=0.1)
+        assert policy.decide([
+            load("n1", p99=0.5), load("n2", p99=0.01),
+        ]) == []
+
+    def test_indivisible_hot_context_is_left_alone(self):
+        policy = AutoscalerPolicy(high=8.0, low=1.0)
+        # Moving the single 9.0 context to n2 leaves n2 at 9.0; no node
+        # count can split one context, so no decision at all.
+        assert policy.decide([load("n1", a=9.0), load("n2")]) == []
+
+    def test_move_that_would_saturate_dest_escalates_to_scale_up(self):
+        policy = AutoscalerPolicy(high=8.0, low=1.0)
+        # The best move (a=5.0 onto n2) would push n2 to 9.0 > high, but
+        # a fresh empty node could host it: ask for one.
+        assert policy.decide([
+            load("n1", a=5.0, b=4.5), load("n2", c=4.0),
+        ]) == [ScaleUp(1)]
+
+    def test_scale_down_drains_emptiest_node_with_headroom(self):
+        policy = AutoscalerPolicy(high=8.0, low=1.0, min_nodes=1)
+        decisions = policy.decide([
+            load("n1", a=0.5), load("n2", b=0.5), load("n3"),
+        ])
+        assert decisions == [ScaleDown("n3")]
+
+    def test_scale_down_respects_min_nodes(self):
+        policy = AutoscalerPolicy(high=8.0, low=1.0, min_nodes=2)
+        assert policy.decide([load("n1"), load("n2")]) == []
+
+    def test_scale_down_requires_headroom(self):
+        policy = AutoscalerPolicy(high=1.0, low=1.0, min_nodes=1)
+        # Every survivor sits at the high mark: nowhere to absorb 0.9.
+        assert policy.decide([
+            load("n1", a=0.9), load("n2", b=0.9), load("n3", c=0.9),
+        ]) == []
+
+    def test_empty_sample_is_a_noop(self):
+        assert AutoscalerPolicy().decide([]) == []

@@ -1,0 +1,230 @@
+"""Unit tests for migration placement pins and the frame protocol."""
+
+import pytest
+
+from repro.cluster.ring import HashRing
+from repro.core.errors import InvalidArgumentError
+
+
+def make_ring(*nodes, vnodes=32):
+    ring = HashRing(vnodes)
+    for node_id in nodes:
+        ring.add_node(node_id)
+    return ring
+
+
+class TestPlacementPins:
+    def test_pin_overrides_hash_owner_and_bumps_epoch(self):
+        ring = make_ring("n1", "n2", "n3")
+        name = "ctx"
+        hash_owner = ring.owner(name)
+        target = next(n for n in ("n1", "n2", "n3") if n != hash_owner)
+        epoch = ring.epoch
+        assert ring.pin(name, target)
+        assert ring.owner(name) == target
+        assert ring.epoch == epoch + 1
+        assert ring.pins() == {name: target}
+
+    def test_repin_same_target_is_a_noop(self):
+        ring = make_ring("n1", "n2")
+        ring.pin("ctx", "n2")
+        epoch = ring.epoch
+        assert not ring.pin("ctx", "n2")
+        assert ring.epoch == epoch
+
+    def test_unpin_reverts_to_hash_owner(self):
+        ring = make_ring("n1", "n2", "n3")
+        hash_owner = ring.owner("ctx")
+        target = next(n for n in ("n1", "n2", "n3") if n != hash_owner)
+        ring.pin("ctx", target)
+        epoch = ring.epoch
+        assert ring.unpin("ctx")
+        assert ring.owner("ctx") == hash_owner
+        assert ring.epoch == epoch + 1
+        assert not ring.unpin("ctx")  # second unpin: nothing to drop
+
+    def test_pin_to_unknown_node_raises(self):
+        ring = make_ring("n1")
+        with pytest.raises(InvalidArgumentError):
+            ring.pin("ctx", "ghost")
+
+    def test_pin_dissolves_when_target_leaves(self):
+        ring = make_ring("n1", "n2", "n3")
+        hash_owner = ring.owner("ctx")
+        target = next(n for n in ("n1", "n2", "n3") if n != hash_owner)
+        ring.pin("ctx", target)
+        ring.remove_node(target)
+        assert ring.pins() == {}
+        assert ring.owner("ctx") == hash_owner
+
+    def test_successors_keep_pinned_owner_at_head(self):
+        ring = make_ring("n1", "n2", "n3", "n4")
+        hash_chain = ring.successors("ctx", 3)
+        target = next(
+            n for n in ("n1", "n2", "n3", "n4") if n != hash_chain[0]
+        )
+        ring.pin("ctx", target)
+        chain = ring.successors("ctx", 3)
+        assert chain[0] == target == ring.owner("ctx")
+        assert len(chain) == 3
+        assert len(set(chain)) == 3
+        # The tail is the hash walk with the pinned node deduplicated.
+        walk = [n for n in hash_chain if n != target]
+        assert chain[1:] == walk[: len(chain) - 1]
+
+    def test_successors_fall_back_when_pin_target_dead(self):
+        ring = make_ring("n1", "n2", "n3")
+        hash_chain = ring.successors("ctx", 2)
+        target = next(n for n in ("n1", "n2", "n3") if n != hash_chain[0])
+        ring.pin("ctx", target)
+        ring.remove_node(target)
+        survivors = ring.successors("ctx", 2)
+        assert survivors == [n for n in hash_chain if n != target][:2] or (
+            survivors[0] == ring.owner("ctx")
+        )
+        assert target not in survivors
+
+
+class TestMigrationFrames:
+    """Destination-side frame protocol, driven without any TCP: a real
+    ClusterNode (never started — no threads) receives forged frames."""
+
+    @pytest.fixture
+    def node(self):
+        from repro.cluster.node import ClusterNode
+
+        node = ClusterNode("dst", port=0)
+        yield node
+        node.server.stop(drain_timeout=0)
+        node.data.stop()
+
+    def test_snap_then_deltas_accumulate(self, node):
+        mm = node.migration
+        state = {"clients": ["c1"], "waiters": [["c1", "f1", "src"]],
+                 "resident": [1], "sims": [], "alpha": 0.5, "alpha_count": 1}
+        assert mm.receive({
+            "op": "migrate", "from": "src", "context": "ctx",
+            "seq": 1, "kind": "snap", "state": state,
+        })["ok"]
+        assert mm.has_incoming("ctx")
+        reply = mm.receive({
+            "op": "migrate", "from": "src", "context": "ctx",
+            "seq": 2, "kind": "delta",
+            "delta": {"resident": {"add": [2], "del": []}},
+        })
+        assert reply["ok"]
+        assert mm.describe()["incoming"]["ctx"]["seq"] == 2
+
+    def test_gapped_delta_requests_resync(self, node):
+        mm = node.migration
+        mm.receive({
+            "op": "migrate", "from": "src", "context": "ctx",
+            "seq": 1, "kind": "snap",
+            "state": {"clients": [], "waiters": [], "resident": [],
+                      "sims": [], "alpha": None, "alpha_count": 0},
+        })
+        reply = mm.receive({
+            "op": "migrate", "from": "src", "context": "ctx",
+            "seq": 5, "kind": "delta",
+            "delta": {"resident": {"add": [9], "del": []}},
+        })
+        assert not reply["ok"] and reply["resync"]
+
+    def test_delta_without_snapshot_requests_resync(self, node):
+        reply = node.migration.receive({
+            "op": "migrate", "from": "src", "context": "ctx",
+            "seq": 1, "kind": "delta",
+            "delta": {"resident": {"add": [1], "del": []}},
+        })
+        assert not reply["ok"] and reply["resync"]
+
+    def test_final_for_unknown_context_is_rejected(self, node):
+        reply = node.migration.receive({
+            "op": "migrate", "from": "src", "context": "ghost",
+            "seq": 1, "kind": "final",
+            "state": {"clients": [], "waiters": [], "resident": [],
+                      "sims": [], "alpha": None, "alpha_count": 0},
+            "pin": ["ghost", "dst", 1],
+        })
+        assert not reply["ok"]
+
+    def test_malformed_and_unknown_kinds_are_rejected(self, node):
+        assert not node.migration.receive({"kind": "snap"})["ok"]
+        reply = node.migration.receive({
+            "op": "migrate", "from": "src", "context": "ctx",
+            "seq": 1, "kind": "wat",
+        })
+        assert not reply["ok"]
+
+    def test_prune_drops_stale_incoming_of_dead_source(self, node):
+        mm = node.migration
+        mm.receive({
+            "op": "migrate", "from": "src", "context": "ctx",
+            "seq": 1, "kind": "snap",
+            "state": {"clients": [], "waiters": [], "resident": [],
+                      "sims": [], "alpha": None, "alpha_count": 0},
+        })
+        # Source alive: kept.  Source dead but we own it: kept (promotable).
+        mm.prune({"src", "dst"}, lambda name: "other")
+        assert mm.has_incoming("ctx")
+        mm.prune({"dst"}, lambda name: "dst")
+        assert mm.has_incoming("ctx")
+        # Source dead and someone else owns the cold restart: dropped.
+        mm.prune({"dst"}, lambda name: "other")
+        assert not mm.has_incoming("ctx")
+
+
+class TestPinVersions:
+    """Node-level versioned pin merge (no TCP, node never started)."""
+
+    @pytest.fixture
+    def node(self):
+        from repro.cluster.node import ClusterNode
+
+        node = ClusterNode(
+            "n1", port=0, peers=("n2@127.0.0.1:1", "n3@127.0.0.1:2"),
+        )
+        yield node
+        node.server.stop(drain_timeout=0)
+        node.data.stop()
+
+    def test_higher_version_wins_lower_is_ignored(self, node):
+        with node._lock:
+            assert node._adopt_pin("ctx", "n2", 1)
+            assert node.ring.owner("ctx") == "n2"
+            assert not node._adopt_pin("ctx", "n3", 1)  # same version
+            assert node._adopt_pin("ctx", "n3", 2)
+            assert node.ring.owner("ctx") == "n3"
+            assert not node._adopt_pin("ctx", "n2", 1)  # stale
+            assert node.ring.owner("ctx") == "n3"
+
+    def test_bump_outranks_current_and_wire_roundtrip(self, node):
+        with node._lock:
+            node._adopt_pin("ctx", "n2", 3)
+            version = node._bump_pin("ctx", "n3")
+            assert version == 4
+            wire = node._pins_wire()
+        assert wire == [["ctx", "n3", 4]]
+        # A dissolved pin travels with an empty target and outranks
+        # the stale pinned entry it replaced.
+        with node._lock:
+            assert node._adopt_pin("ctx", None, 5)
+            assert node._pins_wire() == [["ctx", "", 5]]
+            assert not node._merge_pins([["ctx", "n2", 4]])
+            assert node.ring.pins() == {}
+
+    def test_sync_ring_dissolves_pin_of_dead_target(self, node):
+        import time
+
+        with node._lock:
+            node._adopt_pin("ctx", "n2", 1)
+            assert node.ring.owner("ctx") == "n2"
+        node._apply_membership(
+            lambda: node.table.link_failed("n2")
+        )
+        time.sleep(0)  # replay thread may spin; state is already mutated
+        with node._lock:
+            assert node.ring.pins() == {}
+            # Dissolution outranks the dead pin.
+            assert node._pin_versions["ctx"] == (None, 2)
+            assert not node._merge_pins([["ctx", "n2", 1]])
