@@ -32,6 +32,19 @@ Subcommands
     Query a cluster node's ``rebalance`` op and print its placement pins,
     in-flight/incoming migrations, autoscaler decisions and load sample,
     plus the ``migrate.*`` metrics.
+``trace``
+    Reconstruct one distributed trace by id: any node merges its own
+    spans with every reachable peer's (and its executor pool's) and the
+    CLI prints the timeline plus a critical-path breakdown.  Unreachable
+    peers produce a warning and a partial trace, never a failure.
+``trace-slow``
+    Print the cluster's slowest retained spans (tail-sampled, so slow
+    requests appear even when head sampling skipped them) next to the
+    merged autoscaler/migration/promotion decision journal.
+``metrics-export``
+    Pull the Prometheus text exposition — the queried node's own series,
+    or every reachable node's concatenated under ``# node <id>``
+    separators.
 """
 
 from __future__ import annotations
@@ -325,6 +338,161 @@ def _cmd_rebalance_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _warn_partial(view: dict) -> None:
+    """Satellite contract: a fan-out that missed peers still prints what
+    it collected — the gaps are named on stderr, the exit stays 0."""
+    unreachable = view.get("unreachable") or []
+    if unreachable:
+        print(
+            "simfs-ctl: warning: partial view, unreachable: "
+            + ", ".join(str(peer) for peer in unreachable),
+            file=sys.stderr,
+        )
+
+
+def _union_seconds(intervals: list[tuple[float, float]]) -> float:
+    """Total length of the union of [start, end) intervals."""
+    total = 0.0
+    edge: float | None = None
+    for start, end in sorted(intervals):
+        if edge is None or start > edge:
+            total += max(0.0, end - start)
+            edge = end
+        elif end > edge:
+            total += end - edge
+            edge = end
+    return total
+
+
+def _span_line(span: dict, t0: float) -> str:
+    attrs = span.get("attrs") or {}
+    extra = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    return (
+        f" +{span.get('start', 0.0) - t0:10.6f}s"
+        f" {span.get('duration', 0.0):10.6f}s"
+        f"  {span.get('name')} @{span.get('node')}"
+        + (f"  {extra}" if extra else "")
+    )
+
+
+def _render_trace(view: dict) -> None:
+    spans = view.get("spans") or []
+    trace_id = view.get("trace_id")
+    if not spans:
+        print(f"trace {trace_id}: no spans retained "
+              "(unsampled, or already rotated out of the span rings)")
+        return
+    t0 = min(s.get("start", 0.0) for s in spans)
+    t1 = max(s.get("end", 0.0) for s in spans)
+    wall = max(t1 - t0, 1e-9)
+    nodes = ",".join(view.get("nodes") or [])
+    print(f"trace {trace_id}: {len(spans)} spans"
+          f" nodes=[{nodes}] wall={wall:.6f}s")
+    for span in spans:
+        print(_span_line(span, t0))
+    # Critical-path breakdown: per span name, the wall-clock share its
+    # interval union covers (overlapping same-name spans don't double
+    # count — queue wait vs. sim wait vs. transfer stay comparable).
+    by_name: dict[str, list[tuple[float, float]]] = {}
+    for span in spans:
+        by_name.setdefault(str(span.get("name")), []).append(
+            (span.get("start", 0.0), span.get("end", 0.0))
+        )
+    print(" critical path:")
+    shares = sorted(
+        ((_union_seconds(ivals), name) for name, ivals in by_name.items()),
+        reverse=True,
+    )
+    for covered, name in shares:
+        print(f"  {name}: {covered:.6f}s ({100.0 * covered / wall:.1f}%)")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.client.dvlib import TcpConnection
+
+    try:
+        with TcpConnection(args.host, args.port, {}, {}) as conn:
+            reply = conn.call({"op": "trace", "trace_id": args.trace_id})
+    except _connect_errors() as exc:
+        detail = str(exc) if "cannot reach" in str(exc) else (
+            f"cannot reach node at {args.host}:{args.port}: {exc}")
+        print(f"simfs-ctl: {detail}", file=sys.stderr)
+        return 1
+    payload = {k: v for k, v in reply.items() if k not in ("op", "req", "error")}
+    view = payload.get("trace") or {}
+    _warn_partial(view)
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    _render_trace(view)
+    return 0
+
+
+def _cmd_trace_slow(args: argparse.Namespace) -> int:
+    from repro.client.dvlib import TcpConnection
+
+    try:
+        with TcpConnection(args.host, args.port, {}, {}) as conn:
+            reply = conn.call({"op": "trace_slow", "limit": args.limit})
+    except _connect_errors() as exc:
+        detail = str(exc) if "cannot reach" in str(exc) else (
+            f"cannot reach node at {args.host}:{args.port}: {exc}")
+        print(f"simfs-ctl: {detail}", file=sys.stderr)
+        return 1
+    payload = {k: v for k, v in reply.items() if k not in ("op", "req", "error")}
+    view = payload.get("slow") or {}
+    _warn_partial(view)
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    spans = view.get("spans") or []
+    nodes = ",".join(view.get("nodes") or [])
+    print(f"slowest {len(spans)} spans nodes=[{nodes}]")
+    for span in spans:
+        attrs = span.get("attrs") or {}
+        extra = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        print(f" {span.get('duration', 0.0):10.6f}s"
+              f"  {span.get('name')} @{span.get('node')}"
+              f"  trace={span.get('trace_id')}"
+              + (f"  {extra}" if extra else ""))
+    journal = view.get("journal") or []
+    if journal:
+        print(" decision journal:")
+        for entry in journal:
+            fields = ", ".join(
+                f"{k}={v}" for k, v in sorted(entry.items())
+                if k not in ("ts", "kind", "node")
+            )
+            print(f"  [{entry.get('ts')}] {entry.get('kind')}"
+                  f" @{entry.get('node')}" + (f": {fields}" if fields else ""))
+    return 0
+
+
+def _cmd_metrics_export(args: argparse.Namespace) -> int:
+    from repro.client.dvlib import TcpConnection
+
+    message: dict = {"op": "metrics_text"}
+    if args.local:
+        message["fanout"] = 0
+    try:
+        with TcpConnection(args.host, args.port, {}, {}) as conn:
+            reply = conn.call(message)
+    except _connect_errors() as exc:
+        detail = str(exc) if "cannot reach" in str(exc) else (
+            f"cannot reach node at {args.host}:{args.port}: {exc}")
+        print(f"simfs-ctl: {detail}", file=sys.stderr)
+        return 1
+    _warn_partial(reply)
+    text = reply.get("text") or ""
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {len(text)} bytes to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="simfs-ctl", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -405,6 +573,44 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--json", action="store_true",
                    help="emit the raw rebalance payload as JSON")
     p.set_defaults(func=_cmd_rebalance_status)
+
+    p = sub.add_parser(
+        "trace",
+        help="reconstruct one distributed trace (spans merged from every "
+             "reachable node) and print its critical-path breakdown",
+    )
+    p.add_argument("trace_id", help="16-hex-digit trace id (e.g. from a "
+                                    "client's last_trace_id or an exemplar)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7878)
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw trace payload as JSON")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "trace-slow",
+        help="print the slowest retained spans (tail-sampled) and the "
+             "decision journal across every reachable node",
+    )
+    p.add_argument("--limit", type=int, default=20)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7878)
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw slow-span payload as JSON")
+    p.set_defaults(func=_cmd_trace_slow)
+
+    p = sub.add_parser(
+        "metrics-export",
+        help="pull the Prometheus text exposition (cluster-merged under "
+             "# node <id> separators unless --local)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7878)
+    p.add_argument("--local", action="store_true",
+                   help="only the queried node's own series")
+    p.add_argument("--out", default=None,
+                   help="write to a file instead of stdout")
+    p.set_defaults(func=_cmd_metrics_export)
 
     args = parser.parse_args(argv)
     return args.func(args)

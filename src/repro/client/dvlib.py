@@ -22,6 +22,7 @@ import abc
 import itertools
 import os
 import queue
+import random
 import socket
 import threading
 import time
@@ -49,6 +50,7 @@ from repro.dv.protocol import (
     encode_open_request,
     send_message,
 )
+from repro.obs.trace import new_trace
 
 __all__ = [
     "FileInfo",
@@ -220,6 +222,13 @@ class TcpConnection(DVConnection):
     ``hello`` handshake and falls back to newline JSON automatically when
     the server does not speak it (a v1 DV simply ignores the request).
     Pass ``codec="legacy"`` to force newline JSON against any server.
+
+    ``trace`` opts requests into distributed tracing: ``True`` traces
+    every request, a float in ``(0, 1]`` head-samples that fraction.
+    Tracing is negotiated during ``hello`` (legacy daemons simply never
+    grant it); sampled requests carry a compact trace context the DV
+    chain propagates hop by hop.  :attr:`last_trace_id` holds the trace
+    id of the most recent sampled request for ``simfs-ctl trace``.
     """
 
     def __init__(
@@ -231,10 +240,16 @@ class TcpConnection(DVConnection):
         client_id: str | None = None,
         connect_timeout: float = 10.0,
         codec: str = CODEC_BINARY,
+        trace: bool | float = False,
     ) -> None:
         super().__init__(client_id)
         if codec not in SUPPORTED_CODECS:
             raise InvalidArgumentError(f"unknown codec {codec!r}")
+        self._trace_rate = 1.0 if trace is True else max(0.0, float(trace))
+        self._trace_granted = False
+        self._trace_rng = random.Random()
+        #: Trace id (hex) of the most recent head-sampled request.
+        self.last_trace_id: str | None = None
         self._host = host
         self._port = port
         self._connect_timeout = connect_timeout
@@ -288,6 +303,9 @@ class TcpConnection(DVConnection):
         if self._want_codec != CODEC_LEGACY:
             hello["vers"] = PROTOCOL_VERSION
             hello["codec"] = self._want_codec
+        if self._trace_rate > 0.0:
+            hello["vers"] = PROTOCOL_VERSION
+            hello["trace"] = 1
         try:
             send_message(sock, hello)
             reader = MessageReader(sock)
@@ -313,6 +331,7 @@ class TcpConnection(DVConnection):
         if granted in SUPPORTED_CODECS and granted != CODEC_LEGACY:
             self.codec = granted
             reader.set_codec(granted)
+        self._trace_granted = bool(reply.get("trace"))
         self.server_info = {
             key: value for key, value in reply.items()
             if key not in ("op", "req", "error", "detail")
@@ -414,9 +433,24 @@ class TcpConnection(DVConnection):
         for waiter in waiters:
             waiter.put(None)  # sentinel: the link is gone
 
+    def _next_tc(self) -> str | None:
+        """Head-sampling coin flip: a fresh sampled trace context (wire
+        form) for this request, or ``None`` when untraced."""
+        if not self._trace_granted or self._trace_rate <= 0.0:
+            return None
+        if self._trace_rate < 1.0 and self._trace_rng.random() >= self._trace_rate:
+            return None
+        tc = new_trace(sampled=True)
+        self.last_trace_id = f"{tc.trace_id:016x}"
+        return tc.to_wire()
+
     def _rpc(self, message: dict, timeout: float = 60.0) -> dict:
         if self._closed:
             raise ConnectionLostError("connection is closed")
+        if "tc" not in message:
+            tc = self._next_tc()
+            if tc is not None:
+                message["tc"] = tc
         req = next(self._reqs)
         message["req"] = req
         return self._rpc_send(req, encode_frame(message, self.codec), timeout)
@@ -490,7 +524,10 @@ class TcpConnection(DVConnection):
             raise ConnectionLostError("connection is closed")
         req = next(self._reqs)
         reply = self._rpc_send(
-            req, encode_open_request(req, context, filename, self.codec)
+            req,
+            encode_open_request(
+                req, context, filename, self.codec, tc=self._next_tc()
+            ),
         )
         return FileInfo(
             filename=filename,
@@ -573,7 +610,9 @@ class TcpConnection(DVConnection):
                 f"context {context!r}'s owner advertises no data plane"
             )
         with DataClient(host, port, timeout=timeout) as client:
-            return client.fetch(context, filename, dest, resume=resume)
+            return client.fetch(
+                context, filename, dest, resume=resume, tc=self._next_tc()
+            )
 
     def fetch_context(
         self,
@@ -598,10 +637,12 @@ class TcpConnection(DVConnection):
                 f"context {context!r}'s owner advertises no data plane"
             )
         os.makedirs(dest_dir, exist_ok=True)
+        tc = self._next_tc()
         with DataClient(host, port, timeout=timeout) as client:
             for name in names:
                 results[name] = client.fetch(
-                    context, name, os.path.join(dest_dir, name), resume=resume
+                    context, name, os.path.join(dest_dir, name),
+                    resume=resume, tc=tc,
                 )
         return results
 

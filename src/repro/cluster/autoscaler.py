@@ -278,6 +278,12 @@ class Autoscaler:
                 record.append(
                     {"action": "scale_down", "node": decision.node_id}
                 )
+        # Every decision lands in the node's structured journal too, so
+        # `simfs-ctl trace-slow` shows *why* a context moved next to the
+        # latency spans of the move itself.
+        obs = self.node.server.obs
+        for entry in record:
+            obs.journal("autoscale", decision=dict(entry))
         with self._lock:
             self._last_decisions = record
             self._last_tick_at = time.time()

@@ -162,6 +162,9 @@ class PeerLink:
         if codec != CODEC_LEGACY:
             hello["vers"] = PROTOCOL_VERSION
             hello["codec"] = codec
+            # Peers propagate trace contexts on forwarded frames; asking
+            # for tracing here lets the peer send traced binary kinds back.
+            hello["trace"] = 1
         try:
             send_message(self._sock, hello)
             reader = MessageReader(self._sock)

@@ -143,8 +143,18 @@ class MigrationManager:
 
     def _run(self, context: str, dest: str, rounds: int) -> dict:
         node = self.node
+        obs = node.server.obs
+        # Migrations are rare and operator-relevant: always sampled, so
+        # `simfs-ctl trace <id>` reconstructs the move end to end.
+        tc = obs.start_trace(sampled=True)
+        tc_wire = tc.to_wire()
+        obs.journal(
+            "migrate.start", context=context, dest=dest,
+            trace_id=f"{tc.trace_id:016x}",
+        )
         self._m_started.inc()
         began = time.monotonic()
+        obs_began = obs.now()
         seq = 0
         acked: dict | None = None
         # Phase 1: pre-copy while the shard keeps serving.  Every round
@@ -164,7 +174,7 @@ class MigrationManager:
             seq += 1
             frame.update({
                 "op": "migrate", "from": node.node_id,
-                "context": context, "seq": seq,
+                "context": context, "seq": seq, "tc": tc_wire,
             })
             reply = self._send(dest, frame)
             if reply is None:
@@ -174,11 +184,17 @@ class MigrationManager:
                 )
             acked = state if reply.get("ok") else None
 
+        obs.record(
+            "migrate.precopy", tc, obs_began, obs.now(),
+            context=context, dest=dest, frames=seq,
+        )
+
         # Phase 2: cutover under the node lock — the job-intake freeze.
         # Racing client ops block on this lock, then reroute to the
         # pinned destination; _forward_routed absorbs the destination's
         # activation lag with its ERR_CONTEXT retry loop.
         freeze_began = time.monotonic()
+        obs_freeze_began = obs.now()
         with node._lock:
             if node.ring.owner(context) != node.node_id:
                 raise InvalidArgumentError(
@@ -202,19 +218,26 @@ class MigrationManager:
             "op": "migrate", "from": node.node_id, "context": context,
             "seq": seq, "kind": "final", "state": final,
             "pin": [context, dest, version],
-            "data_port": node.data.port,
+            "data_port": node.data.port, "tc": tc_wire,
         }
         reply = self._send(dest, frame)
         if reply is None or not reply.get("ok"):
             self._abort(context, final, version)
             self._m_aborted.inc()
             detail = (reply or {}).get("detail", "unreachable at cutover")
+            obs.journal(
+                "migrate.abort", context=context, dest=dest, detail=detail,
+            )
             raise DVConnectionLost(
                 f"migration of {context!r} to {dest!r} aborted ({detail}); "
                 "the context is still served here"
             )
         freeze_s = time.monotonic() - freeze_began
         self._m_freeze.observe(freeze_s)
+        obs.record(
+            "migrate.freeze", tc, obs_freeze_began,
+            obs_freeze_began + freeze_s, context=context, dest=dest,
+        )
         waiters = final.get("waiters", ())
         with node._lock:
             # Dest death must replay these from here: the migrated
@@ -238,6 +261,16 @@ class MigrationManager:
             "freeze_seconds": round(freeze_s, 6),
             "total_seconds": round(time.monotonic() - began, 6),
         }
+        obs.record(
+            "migrate.total", tc, obs_began, obs.now(),
+            context=context, dest=dest, waiters=len(waiters),
+        )
+        obs.journal(
+            "migrate.cutover", context=context, dest=dest,
+            freeze_seconds=result["freeze_seconds"],
+            moved_waiters=len(waiters),
+            trace_id=f"{tc.trace_id:016x}",
+        )
         self.last_outgoing = dict(result, at=time.time())
         return result
 
@@ -342,17 +375,25 @@ class MigrationManager:
         for notification in ready:
             node.server._push_ready(notification)
         self._m_adopted.inc()
+        node.server.obs.journal(
+            "migrate.adopt", context=context, src=src,
+            restored_waiters=len(waiters),
+        )
         self.last_incoming = {
             "context": context, "from": src, "at": time.time(),
             "restored_waiters": len(waiters),
             "resumed_sims": len(state.get("sims", ())),
         }
-        self._fetch_missing(context, src, frame.get("data_port"), state)
+        self._fetch_missing(
+            context, src, frame.get("data_port"), state,
+            tc=frame.get("tc"),
+        )
         node._gossip_soon()
         return {"ok": True, "restored_waiters": len(waiters)}
 
     def _fetch_missing(
-        self, context: str, src: str, data_port, state: dict
+        self, context: str, src: str, data_port, state: dict,
+        tc: str | None = None,
     ) -> None:
         """Best-effort background pull of cache-resident files the shared
         PFS does not already provide, over the source's data plane.  On a
@@ -392,6 +433,7 @@ class MigrationManager:
                         client.fetch(
                             context, filename,
                             os.path.join(spec.output_dir, filename),
+                            tc=tc,
                         )
                         self._m_fetched.inc()
             except (SimFSError, OSError):
@@ -430,6 +472,10 @@ class MigrationManager:
         for notification in ready:
             node.server._push_ready(notification)
         self._m_promoted.inc()
+        node.server.obs.journal(
+            "migrate.promote_partial", context=context, src=record["src"],
+            restored_waiters=len(waiters),
+        )
         self.last_incoming = {
             "context": context, "from": record["src"], "at": time.time(),
             "restored_waiters": len(waiters), "partial": True,

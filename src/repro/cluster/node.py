@@ -156,6 +156,9 @@ class ClusterNode:
         # default: a forwarded op parks a worker on a peer round trip,
         # and gossip merges run there too.
         self.server = DVServer(host, port, mode=mode, workers=workers or 4)
+        # Spans recorded by this daemon must carry the cluster identity,
+        # not the generic "dv", so a merged trace names its hops.
+        self.server.obs.node = node_id
         #: Bulk data plane: bound here (so the port is known before the
         #: engine forks and before hellos advertise it), threads started
         #: in :meth:`start`.  Serves every context in the catalog from its
@@ -168,6 +171,7 @@ class ClusterNode:
             resolver=self._data_resolve,
             lister=self._data_list,
             upstream=self._data_upstream,
+            obs=self.server.obs,
         )
         self._spool: str | None = None
         self._spool_lock = threading.Lock()
@@ -280,6 +284,20 @@ class ClusterNode:
         self.server.register_op("load", self._op_load, needs_worker=True)
         self.server.register_op(
             "rebalance", self._op_rebalance, needs_worker=True
+        )
+        # Observability plane: cluster-wide versions of the daemon's
+        # trace/trace_slow ops — merge local spans (and the engine's)
+        # with every live peer's, reporting unreachable peers in the
+        # payload instead of failing the whole query.
+        self.server.register_op(
+            "trace", self._op_trace, needs_worker=True, replace=True
+        )
+        self.server.register_op(
+            "trace_slow", self._op_trace_slow, needs_worker=True, replace=True
+        )
+        self.server.register_op(
+            "metrics_text", self._op_metrics_text,
+            needs_worker=True, replace=True,
         )
         if self.engine is not None:
             # The real shards live in the pool: a client's `stats` must
@@ -760,13 +778,23 @@ class ClusterNode:
                 }, self.node_id
             if owner == self.node_id:
                 return self._execute_local(client_id, inner), owner
+            tc = inner.get("tc")
             try:
                 link = self._link_to(owner)
                 self._m_fwd_sent.inc()
-                reply = link.call(
-                    make_fwd(self.node_id, client_id, inner),
-                    timeout=self.rpc_timeout,
-                )
+                frame = make_fwd(self.node_id, client_id, inner)
+                if tc is not None:
+                    # Hoist the trace context onto the fwd frame itself:
+                    # the owner's dispatch timing then records an
+                    # ``op.fwd`` span without unwrapping the payload.
+                    frame["tc"] = tc
+                fwd_began = self.server.obs.now()
+                reply = link.call(frame, timeout=self.rpc_timeout)
+                if tc is not None:
+                    self.server.obs.record(
+                        "fwd", tc, fwd_began, self.server.obs.now(),
+                        op=inner.get("op"), context=context, peer=owner,
+                    )
             except PeerTimeout:
                 # Slow, not dead: a stalled owner (workers parked on PFS
                 # I/O) must not be instantly exiled — that would activate
@@ -1049,6 +1077,138 @@ class ClusterNode:
         return {
             "cluster": self.describe(),
             "metrics": self.metrics.snapshot("cluster."),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Observability plane (cluster-wide trace reconstruction)
+    # ------------------------------------------------------------------ #
+    def _obs_peer_query(self, message: dict):
+        """Fan one obs query out to every live peer with recursion off;
+        yields ``(peer_id, reply | None)`` — ``None`` marks a peer that
+        could not be reached (the caller reports it, never fails).
+        Peers gossip already declared dead are yielded as unreachable
+        without burning a dial on them: their spans are just as missing
+        from the merged view either way, and a partial view must say so."""
+        with self._lock:
+            peer_ids = [p.node_id for p in self.table.alive_peers()]
+            dead_ids = [
+                p.node_id for p in self.table.peers.values()
+                if not p.alive and p.node_id != self.node_id
+            ]
+        for peer_id in dead_ids:
+            yield peer_id, None
+        for peer_id in peer_ids:
+            try:
+                reply = self._link_to(peer_id).call(
+                    dict(message, fanout=0), timeout=self.rpc_timeout
+                )
+            except (DVConnectionLost, SimFSError, OSError):
+                reply = None
+            yield peer_id, reply
+
+    def _op_trace(self, conn, message: dict) -> dict:
+        """Cluster ``trace`` op: one trace's spans merged from every
+        reachable node (and this node's executor pool), deduplicated by
+        span id and sorted by start time."""
+        trace_id = message.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            raise InvalidArgumentError("trace requires a 'trace_id' string")
+        spans = list(self.server.obs.trace(trace_id))
+        if self.engine is not None:
+            spans.extend(self.engine.trace_spans(trace_id))
+        nodes = [self.node_id]
+        unreachable: list[str] = []
+        if message.get("fanout", 1):
+            query = {"op": "trace", "trace_id": trace_id}
+            for peer_id, reply in self._obs_peer_query(query):
+                if reply is None:
+                    unreachable.append(peer_id)
+                    continue
+                payload = reply.get("trace") or {}
+                spans.extend(payload.get("spans") or ())
+                nodes.extend(payload.get("nodes") or (peer_id,))
+                unreachable.extend(payload.get("unreachable") or ())
+        seen: set[str] = set()
+        merged = []
+        for span in spans:
+            span_id = span.get("span_id")
+            if span_id in seen:
+                continue
+            seen.add(span_id)
+            merged.append(span)
+        merged.sort(key=lambda s: (s.get("start", 0.0), s.get("end", 0.0)))
+        return {"trace": {
+            "trace_id": trace_id.lower(),
+            "spans": merged,
+            "nodes": sorted(set(nodes)),
+            "unreachable": sorted(set(unreachable)),
+        }}
+
+    def _op_trace_slow(self, conn, message: dict) -> dict:
+        """Cluster ``trace_slow`` op: the slowest spans and the decision
+        journals of every reachable node."""
+        limit = max(1, int(message.get("limit", 20)))
+        spans = list(self.server.obs.slow(limit))
+        journal = self.server.obs.journal_entries(limit=limit)
+        if self.engine is not None:
+            spans.extend(self.engine.slow_spans(limit))
+        nodes = [self.node_id]
+        unreachable: list[str] = []
+        if message.get("fanout", 1):
+            query = {"op": "trace_slow", "limit": limit}
+            for peer_id, reply in self._obs_peer_query(query):
+                if reply is None:
+                    unreachable.append(peer_id)
+                    continue
+                payload = reply.get("slow") or {}
+                spans.extend(payload.get("spans") or ())
+                journal.extend(payload.get("journal") or ())
+                nodes.extend(payload.get("nodes") or (peer_id,))
+                unreachable.extend(payload.get("unreachable") or ())
+        spans.sort(key=lambda s: s.get("duration", 0.0), reverse=True)
+        journal.sort(key=lambda e: e.get("ts", 0.0))
+        return {"slow": {
+            "spans": spans[:limit],
+            "journal": journal[-limit:],
+            "nodes": sorted(set(nodes)),
+            "unreachable": sorted(set(unreachable)),
+        }}
+
+    def _local_metrics_text(self) -> str:
+        """This node's Prometheus exposition (pool-merged in engine mode:
+        the real shards live in the executors, not our registry)."""
+        if self.engine is None:
+            return self.server.metrics_text()
+        from repro.metrics import merge_snapshots
+        from repro.obs.export import render_prometheus
+
+        pool = self.engine.stats()
+        merged = merge_snapshots([pool["metrics"], self.metrics.snapshot()])
+        return render_prometheus(merged, self.server.obs.exemplars())
+
+    def _op_metrics_text(self, conn, message: dict) -> dict:
+        """Cluster ``metrics_text`` op: this node's exposition, plus —
+        unless ``fanout`` is off — every reachable peer's, concatenated
+        under ``# node <id>`` separators for ``simfs-ctl metrics-export``
+        (scrapers wanting a single node's series hit its own /metrics)."""
+        text = self._local_metrics_text()
+        nodes = [self.node_id]
+        unreachable: list[str] = []
+        if message.get("fanout", 1):
+            parts = [f"# node {self.node_id}\n{text}"]
+            for peer_id, reply in self._obs_peer_query({"op": "metrics_text"}):
+                if reply is None:
+                    unreachable.append(peer_id)
+                    continue
+                parts.append(
+                    f"# node {peer_id}\n{reply.get('text') or ''}"
+                )
+                nodes.extend(reply.get("nodes") or (peer_id,))
+            text = "\n".join(parts)
+        return {
+            "text": text,
+            "nodes": sorted(set(nodes)),
+            "unreachable": sorted(set(unreachable)),
         }
 
     # ------------------------------------------------------------------ #

@@ -521,6 +521,14 @@ class ReplicationManager:
             self._m_healed.inc()
 
     def _send_frame(self, peer_id: str, frame: dict) -> dict | None:
+        # Head-sampled trace context per frame: sampled frames show up as
+        # ``op.repl`` spans on the replica, tying replication lag into
+        # the same trace plane as client traffic.
+        obs = getattr(getattr(self.node, "server", None), "obs", None)
+        if obs is not None:
+            tc = obs.start_trace()
+            if tc.sampled:
+                frame = dict(frame, tc=tc.to_wire())
         action = self.frame_hook(peer_id, frame) if self.frame_hook else None
         if action == "drop":
             return None
@@ -562,6 +570,11 @@ class ReplicationManager:
         self._m_promotions.inc()
         if waiters:
             self._m_restored.inc(len(waiters))
+        node.server.obs.journal(
+            "ha.promote", context=context_name,
+            restored_waiters=len(waiters),
+            resumed_sims=len(state.get("sims", ())),
+        )
         self.last_promotion = {
             "context": context_name,
             "at": time.time(),

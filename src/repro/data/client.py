@@ -158,30 +158,40 @@ class DataClient:
         *,
         resume: bool = True,
         expected_checksum: str | None = None,
+        tc: str | None = None,
     ) -> FetchResult:
-        """Pull ``(context, filename)`` into ``dest`` with verification."""
+        """Pull ``(context, filename)`` into ``dest`` with verification.
+
+        ``tc`` is an optional trace-context wire string
+        (:meth:`repro.obs.trace.TraceContext.to_wire`); when given, the
+        server records the transfer as a ``data.fetch`` span of that
+        trace.  Servers that predate tracing ignore the key.
+        """
         part = dest + ".part"
         offset = 0
         if resume and os.path.exists(part):
             offset = os.path.getsize(part)
         try:
             return self._fetch_once(context, filename, dest, part, offset,
-                                    expected_checksum)
+                                    expected_checksum, tc)
         except InvalidArgumentError:
             if offset == 0:
                 raise
             # Stale .part (source changed size); restart from scratch.
             os.unlink(part)
             return self._fetch_once(context, filename, dest, part, 0,
-                                    expected_checksum)
+                                    expected_checksum, tc)
 
     def _fetch_once(self, context, filename, dest, part, offset,
-                    expected_checksum) -> FetchResult:
+                    expected_checksum, tc=None) -> FetchResult:
         self._channel = (self._channel % 0xFFFF) + 1
         channel = self._channel
         start = time.monotonic()
-        self._send({"op": "fetch", "channel": channel, "context": context,
-                    "file": filename, "offset": offset})
+        request = {"op": "fetch", "channel": channel, "context": context,
+                   "file": filename, "offset": offset}
+        if tc is not None:
+            request["tc"] = tc
+        self._send(request)
         size = None
         checksum = ""
         received = 0

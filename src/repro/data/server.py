@@ -55,6 +55,8 @@ from repro.data.protocol import (
 )
 from repro.data.scheduler import PRIO_CONTROL, BandwidthScheduler
 from repro.metrics import MetricsRegistry
+from repro.obs import SpanRecorder
+from repro.obs.trace import parse_wire
 from repro.util.checksums import file_checksum
 
 __all__ = ["DataServer"]
@@ -73,6 +75,7 @@ class _Transfer:
     __slots__ = (
         "channel", "conn", "context", "filename", "fd", "offset",
         "remaining", "size", "frame_left", "head", "started", "sent",
+        "tc", "obs_began",
     )
 
     def __init__(self, conn, channel, context, filename, fd, offset, size):
@@ -88,6 +91,8 @@ class _Transfer:
         self.head = b""
         self.started = time.monotonic()
         self.sent = 0
+        self.tc = None
+        self.obs_began = 0.0
 
 
 class _DataConn:
@@ -136,9 +141,13 @@ class DataServer:
         upstream: Callable[[str, str], str | None] | None = None,
         metrics: MetricsRegistry | None = None,
         workers: int = 1,
+        obs: SpanRecorder | None = None,
     ) -> None:
         self.chunk_size = int(chunk_size)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Span recorder for traced transfers — share the owning daemon's
+        #: so ``data.fetch`` spans land in the same per-node ring.
+        self.obs = obs if obs is not None else SpanRecorder(node="data")
         self._resolver = resolver
         self._lister = lister
         self.upstream = upstream
@@ -357,6 +366,7 @@ class DataServer:
             "priority": message.get("priority", "bulk"),
             "context": context,
             "file": filename,
+            "tc": message.get("tc"),
         }
 
     # -- selector loop ---------------------------------------------------
@@ -502,6 +512,10 @@ class DataServer:
             conn, channel, result["context"], result["file"],
             result["fd"], result["offset"], result["size"],
         )
+        tc_wire = result.get("tc")
+        if isinstance(tc_wire, str):
+            transfer.tc = parse_wire(tc_wire)
+        transfer.obs_began = self.obs.now()
         self._send_ctrl(conn, {
             "op": "fetch_start", "channel": channel,
             "size": result["size"], "offset": result["offset"],
@@ -688,6 +702,12 @@ class DataServer:
         self._m_active.dec()
         self._m_completed.inc()
         self._m_mbps.observe(transfer.sent / seconds / 1e6)
+        if transfer.tc is not None:
+            self.obs.record(
+                "data.fetch", transfer.tc, transfer.obs_began, self.obs.now(),
+                context=transfer.context, file=transfer.filename,
+                bytes=transfer.sent, offset=transfer.offset - transfer.sent,
+            )
         self._send_ctrl(conn, {
             "op": "fetch_end", "channel": transfer.channel,
             "bytes": transfer.sent,

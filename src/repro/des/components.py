@@ -31,6 +31,7 @@ from repro.data.scheduler import PRIO_BULK, PRIO_CONTROL, max_min_rates
 from repro.des.engine import DESEngine, EventHandle
 from repro.dv.coordinator import DVCoordinator, Notification, RunningSim
 from repro.metrics import MetricsRegistry
+from repro.obs import SpanRecorder
 
 __all__ = [
     "DESExecutor",
@@ -336,6 +337,15 @@ class VirtualClusterNode:
             self.executor, notify=notify, metrics=self.metrics
         )
         self.executor.bind(self.coordinator)
+        # Same span structure as the live daemon, stamped in virtual time.
+        # Always-sampled, no tail threshold: the DES is for asserting
+        # critical-path composition, not for bounding overhead.
+        self.obs = SpanRecorder(
+            node=node_id,
+            head_rate=1.0,
+            slow_threshold=float("inf"),
+            clock=engine.now,
+        )
 
 
 class _ClusterRouter:
@@ -372,8 +382,20 @@ class _ClusterRouter:
         self._cluster._attachments.get(client_id, set()).discard(context_name)
 
     def handle_open(self, client_id: str, context_name: str, filename: str, now: float):
+        cluster = self._cluster
         result = self._coordinator(context_name).handle_open(
             client_id, context_name, filename, now
+        )
+        # The virtual mirror of the daemon's dispatch span: every open
+        # starts a sampled trace on the owning node; a miss's blocked
+        # window becomes a ``sim.wait`` span when the notification fires.
+        owner = cluster.ring.owner(context_name)
+        node = cluster.nodes[owner]
+        tc = node.obs.start_trace(sampled=True)
+        cluster.last_trace_id = f"{tc.trace_id:016x}"
+        node.obs.record(
+            "op.open", tc, now, cluster.engine.now(),
+            context=context_name, file=filename, available=result.available,
         )
         if not result.available:
             # Remember when the wait began: at failure time this decides
@@ -381,6 +403,7 @@ class _ClusterRouter:
             # than repl_lag -> hot replay) or was still in flight.
             key = (client_id, context_name, filename)
             self._cluster._wait_started_at[key] = now
+            self._cluster._wait_tc[key] = tc
         return result
 
     def handle_release(
@@ -483,6 +506,12 @@ class VirtualCluster:
         self._replicas_ok: dict[str, int] = {}
         #: (client, context, filename) -> virtual time the wait started
         self._wait_started_at: dict[tuple[str, str, str], float] = {}
+        #: (client, context, filename) -> trace context of the blocked
+        #: open, resolved into a ``sim.wait`` span when it unblocks
+        self._wait_tc: dict[tuple[str, str, str], object] = {}
+        #: trace id of the most recent traced open / migration — the DES
+        #: scenario's handle into :meth:`trace`
+        self.last_trace_id: str | None = None
         self.promotions = 0
         self.hot_restored_waiters = 0
         self.lost_waiters = 0
@@ -734,6 +763,21 @@ class VirtualCluster:
             self.resumed_sims += 1
         self.migrations += 1
         self.migrated_waiters += len(captured)
+        # The live protocol's trace, in virtual time: the freeze span
+        # covers exactly the frozen window [now, now + freeze] (waiters
+        # replay at its end), and the cutover lands in the journal.
+        now = self.engine.now()
+        tc = source.obs.start_trace(sampled=True)
+        self.last_trace_id = f"{tc.trace_id:016x}"
+        source.obs.record(
+            "migrate.freeze", tc, now, now + freeze,
+            context=context_name, dest=dest,
+        )
+        source.obs.journal(
+            "migrate.cutover", context=context_name, dest=dest,
+            freeze_seconds=freeze, moved_waiters=len(captured),
+            trace_id=self.last_trace_id,
+        )
         if captured:
             self.engine.schedule(freeze, lambda: self._replay(captured))
         return len(captured)
@@ -854,7 +898,39 @@ class VirtualCluster:
             },
         }
 
+    def trace(self, trace_id: str | int) -> list[dict]:
+        """One trace's spans merged across every virtual node — the DES
+        mirror of the cluster-wide ``trace`` op."""
+        spans: list[dict] = []
+        for node_id in sorted(self.nodes):
+            spans.extend(self.nodes[node_id].obs.trace(trace_id))
+        spans.sort(key=lambda s: (s["start"], s["end"]))
+        return spans
+
+    def journal_entries(self, kind: str | None = None) -> list[dict]:
+        """Merged decision journal of every virtual node, by timestamp."""
+        entries: list[dict] = []
+        for node_id in sorted(self.nodes):
+            entries.extend(self.nodes[node_id].obs.journal_entries(kind))
+        entries.sort(key=lambda e: e.get("ts", 0.0))
+        return entries
+
     def _route(self, notification: Notification) -> None:
+        key = (
+            notification.client_id, notification.context_name,
+            notification.filename,
+        )
+        tc = self._wait_tc.pop(key, None)
+        if tc is not None:
+            started = self._wait_started_at.get(key, self.engine.now())
+            owner = self.ring.owner(notification.context_name)
+            if owner is not None:
+                self.nodes[owner].obs.record(
+                    "sim.wait", tc, started, self.engine.now(),
+                    context=notification.context_name,
+                    file=notification.filename,
+                    client=notification.client_id,
+                )
         analysis = self._analyses.get(notification.client_id)
         if analysis is not None:
             analysis.on_notification(notification)

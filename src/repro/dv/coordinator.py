@@ -49,10 +49,13 @@ class DVCoordinator:
         executor: SimulationExecutor,
         notify: Callable[[Notification], None] | None = None,
         metrics: MetricsRegistry | None = None,
+        obs=None,
     ) -> None:
         self._executor = executor
         self._notify = notify or (lambda _n: None)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Span recorder shared with every shard (None = tracing off).
+        self.obs = obs
         self._shards: dict[str, ContextShard] = {}
         self._registry_lock = threading.Lock()
         # Shared across shards so sim ids stay globally unique (the
@@ -78,17 +81,25 @@ class DVCoordinator:
                 notify=self._dispatch_notification,
                 metrics=self.metrics,
                 on_evict_file=on_evict_file,
+                obs=self.obs,
             )
             self._shards[context.name] = shard
             return shard
 
-    def unregister_context(self, context_name: str, now: float = 0.0) -> None:
+    def unregister_context(
+        self, context_name: str, now: float = 0.0,
+        prune_metrics: bool = True,
+    ) -> None:
         """Remove a context shard from the registry.
 
         Outstanding waiters are failed (``ok=False`` notifications) so no
         client hangs on a context that no longer exists here, and every
         running or queued re-simulation is killed through the executor.
-        The metrics the shard accumulated stay in the registry — a
+        The shard's per-context metric series (``dv.<name>.*`` and
+        ``cache.<name>.*``) are pruned from the registry so churny
+        register/unregister cycles (migrations, failovers) don't
+        accumulate dead series without bound; pass
+        ``prune_metrics=False`` to keep the historical behavior where a
         re-registration under the same name resumes the same counters.
         """
         with self._registry_lock:
@@ -106,6 +117,7 @@ class DVCoordinator:
                 for client_id in waiting
             ]
             shard.waiters.clear()
+            shard._waiter_obs.clear()
             for sim in list(shard.sims.values()):
                 self._executor.kill(sim.sim_id)
             shard.sims.clear()
@@ -113,6 +125,10 @@ class DVCoordinator:
             shard.pending_jobs = type(shard.pending_jobs)()
         for notification in notifications:
             self._dispatch_notification(notification)
+        if prune_metrics:
+            # Trailing dot: "dv.cosmo." must not take "dv.cosmology.*" down.
+            self.metrics.prune(f"dv.{context_name}.")
+            self.metrics.prune(f"cache.{context_name}.")
 
     def release_context(
         self, context_name: str
@@ -178,14 +194,20 @@ class DVCoordinator:
     # Client data path
     # ------------------------------------------------------------------ #
     def handle_open(
-        self, client_id: str, context_name: str, filename: str, now: float
+        self, client_id: str, context_name: str, filename: str, now: float,
+        tc: str | None = None,
     ) -> OpenResult:
-        return self.shard(context_name).handle_open(client_id, filename, now)
+        return self.shard(context_name).handle_open(
+            client_id, filename, now, tc=tc
+        )
 
     def handle_acquire(
-        self, client_id: str, context_name: str, filenames: list[str], now: float
+        self, client_id: str, context_name: str, filenames: list[str], now: float,
+        tc: str | None = None,
     ) -> list[OpenResult]:
-        return self.shard(context_name).handle_acquire(client_id, filenames, now)
+        return self.shard(context_name).handle_acquire(
+            client_id, filenames, now, tc=tc
+        )
 
     def handle_release(
         self, client_id: str, context_name: str, filename: str, now: float

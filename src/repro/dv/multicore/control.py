@@ -42,6 +42,8 @@ __all__ = [
     "CTL_PING",
     "CTL_STATS",
     "CTL_STATS_ALL",
+    "CTL_OBS",
+    "CTL_OBS_ALL",
     "CTL_DRAIN",
     "CTL_STOP",
     "CTL_CONN",
@@ -65,6 +67,12 @@ CTL_STATS = "ctl.stats"
 #: Executor -> supervisor, request: the merged all-executor stats payload
 #: (what a client's ``stats`` op should see).
 CTL_STATS_ALL = "ctl.stats_all"
+#: Supervisor -> executor, request: ``{kind: "trace"|"slow", trace_id |
+#: limit}`` — one executor's recorded spans for the query.
+CTL_OBS = "ctl.obs"
+#: Executor -> supervisor, request: the pool-merged span payload (what a
+#: client's ``trace`` / ``trace_slow`` op should see).
+CTL_OBS_ALL = "ctl.obs_all"
 #: Supervisor -> executor, request: ``{timeout}`` — phase one of the
 #: graceful stop: close client listeners, drain in-flight work.
 CTL_DRAIN = "ctl.drain"

@@ -35,6 +35,8 @@ from repro.dv.multicore.control import (
     CTL_DEACTIVATE,
     CTL_DRAIN,
     CTL_HELLO,
+    CTL_OBS,
+    CTL_OBS_ALL,
     CTL_PING,
     CTL_RING,
     CTL_STATS,
@@ -82,6 +84,7 @@ def run_executor(spec: ExecutorSpec, ctl_sock: socket.socket) -> None:
         reuse_port=True,
         listen=(spec.accept == "reuseport"),
     )
+    server.obs.node = spec.executor_id
     try:
         os.unlink(spec.unix_path)
     except OSError:
@@ -132,6 +135,14 @@ def run_executor(spec: ExecutorSpec, ctl_sock: socket.socket) -> None:
             return {"ok": True, "epoch": gateway.ring.epoch}
         if op == CTL_STATS:
             return {"stats": server._op_stats(None, {})["stats"]}
+        if op == CTL_OBS:
+            if message.get("kind") == "slow":
+                return {"spans": server.slow_spans(
+                    int(message.get("limit", 20))
+                )}
+            return {"spans": server.trace_spans(
+                str(message.get("trace_id") or "")
+            )}
         if op == CTL_CONN:
             if fd is not None:
                 server.adopt_connection(socket.socket(fileno=fd))
@@ -171,6 +182,70 @@ def run_executor(spec: ExecutorSpec, ctl_sock: socket.socket) -> None:
         return server._op_stats(conn, message)
 
     server.register_op("stats", merged_stats, needs_worker=True, replace=True)
+
+    def _pool_spans(query: dict) -> list | None:
+        """Pool-merged spans via the supervisor; None when unreachable."""
+        try:
+            reply = channel.call(dict(query, op=CTL_OBS_ALL), timeout=5.0)
+        except (DVConnectionLost, TimeoutError):
+            return None
+        spans = reply.get("spans")
+        return spans if isinstance(spans, list) else None
+
+    def merged_trace(conn, message: dict) -> dict:
+        """Top-level ``trace`` override: merge every sibling executor's
+        spans through the supervisor, falling back to the local recorder
+        when the control plane is unreachable."""
+        reply = server._op_trace(conn, message)
+        pool = _pool_spans(
+            {"kind": "trace", "trace_id": message.get("trace_id")}
+        )
+        if pool is None:
+            return reply
+        payload = reply["trace"]
+        seen = {span.get("span_id") for span in payload["spans"]}
+        for span in pool:
+            if span.get("span_id") in seen:
+                continue
+            seen.add(span.get("span_id"))
+            payload["spans"].append(span)
+        payload["spans"].sort(
+            key=lambda s: (s.get("start", 0.0), s.get("end", 0.0))
+        )
+        payload["nodes"] = sorted(
+            set(payload["nodes"])
+            | {s.get("node") for s in payload["spans"] if s.get("node")}
+        )
+        return reply
+
+    def merged_trace_slow(conn, message: dict) -> dict:
+        """Top-level ``trace_slow`` override, same shape as above."""
+        reply = server._op_trace_slow(conn, message)
+        limit = max(1, int(message.get("limit", 20)))
+        pool = _pool_spans({"kind": "slow", "limit": limit})
+        if pool is None:
+            return reply
+        payload = reply["slow"]
+        seen = {span.get("span_id") for span in payload["spans"]}
+        for span in pool:
+            if span.get("span_id") in seen:
+                continue
+            seen.add(span.get("span_id"))
+            payload["spans"].append(span)
+        payload["spans"].sort(
+            key=lambda s: s.get("duration", 0.0), reverse=True
+        )
+        payload["spans"] = payload["spans"][:limit]
+        payload["nodes"] = sorted(
+            set(payload["nodes"])
+            | {s.get("node") for s in payload["spans"] if s.get("node")}
+        )
+        return reply
+
+    server.register_op("trace", merged_trace, needs_worker=True, replace=True)
+    server.register_op(
+        "trace_slow", merged_trace_slow, needs_worker=True, replace=True
+    )
 
     server.start()
     channel.start()

@@ -262,13 +262,23 @@ class ExecutorGateway:
                 }, self.executor_id
             if owner == self.executor_id:
                 return self._execute_local(client_id, inner), owner
+            tc = inner.get("tc")
             try:
                 link = self._link_to(owner)
                 self._m_fwd_sent.inc()
-                reply = link.call(
-                    make_fwd(self.executor_id, client_id, inner),
-                    timeout=self.rpc_timeout,
-                )
+                frame = make_fwd(self.executor_id, client_id, inner)
+                if tc is not None:
+                    # Hoisted trace context: the owning executor's
+                    # dispatch timing records an ``op.fwd`` span for the
+                    # forwarded hop without unwrapping the payload.
+                    frame["tc"] = tc
+                fwd_began = self.server.obs.now()
+                reply = link.call(frame, timeout=self.rpc_timeout)
+                if tc is not None:
+                    self.server.obs.record(
+                        "fwd", tc, fwd_began, self.server.obs.now(),
+                        op=inner.get("op"), context=context, peer=owner,
+                    )
             except PeerTimeout:
                 return {
                     "error": int(ErrorCode.ERR_CONNECTION),

@@ -48,6 +48,8 @@ from repro.dv.multicore.control import (
     CTL_DEACTIVATE,
     CTL_DRAIN,
     CTL_HELLO,
+    CTL_OBS,
+    CTL_OBS_ALL,
     CTL_PING,
     CTL_RING,
     CTL_STATS,
@@ -369,6 +371,14 @@ class MultiCoreServer:
             return None
         if op == CTL_STATS_ALL:
             return {"stats": self.stats()}
+        if op == CTL_OBS_ALL:
+            if message.get("kind") == "slow":
+                return {"spans": self.slow_spans(
+                    int(message.get("limit", 20))
+                )}
+            return {"spans": self.trace_spans(
+                str(message.get("trace_id") or "")
+            )}
         return {"error": 1, "detail": f"unexpected control op {op!r}"}
 
     def _executor_died(self, handle: _ExecutorHandle) -> None:
@@ -532,6 +542,43 @@ class MultiCoreServer:
             sock.close()
 
     # ------------------------------------------------------------------ #
+    # Merged observability plane
+    # ------------------------------------------------------------------ #
+    def _obs_query(self, message: dict) -> list[dict]:
+        """Fan one span query to every live executor; an unreachable
+        executor simply contributes nothing (its recorder died with it)."""
+        with self._lock:
+            handles = [h for h in self._handles.values() if h.alive]
+        spans: list[dict] = []
+        for reply in self._fanout(handles, message, timeout=3.0).values():
+            if isinstance(reply, dict):
+                spans.extend(reply.get("spans") or ())
+        return spans
+
+    def trace_spans(self, trace_id: str | int) -> list[dict]:
+        """One trace's spans merged across the executor pool."""
+        spans = self._obs_query(
+            {"op": CTL_OBS, "kind": "trace", "trace_id": str(trace_id)}
+        )
+        seen: set = set()
+        merged = []
+        for span in spans:
+            if span.get("span_id") in seen:
+                continue
+            seen.add(span.get("span_id"))
+            merged.append(span)
+        merged.sort(key=lambda s: (s.get("start", 0.0), s.get("end", 0.0)))
+        return merged
+
+    def slow_spans(self, limit: int = 20) -> list[dict]:
+        """The pool's slowest retained spans (tail-sampled view)."""
+        spans = self._obs_query(
+            {"op": CTL_OBS, "kind": "slow", "limit": int(limit)}
+        )
+        spans.sort(key=lambda s: s.get("duration", 0.0), reverse=True)
+        return spans[: int(limit)]
+
+    # ------------------------------------------------------------------ #
     # Merged stats plane
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:
@@ -672,10 +719,12 @@ class MultiCoreServer:
                 }, owner
             try:
                 link = self._link_to(owner)
-                reply = link.call(
-                    make_fwd("sup", client_id, inner),
-                    timeout=self.rpc_timeout,
-                )
+                frame = make_fwd("sup", client_id, inner)
+                if inner.get("tc") is not None:
+                    # Keep the trace context visible on the frame itself
+                    # so the executor's dispatch timing spans the hop.
+                    frame["tc"] = inner["tc"]
+                reply = link.call(frame, timeout=self.rpc_timeout)
             except PeerTimeout:
                 return {
                     "error": int(ErrorCode.ERR_CONNECTION),

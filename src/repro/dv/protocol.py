@@ -68,6 +68,17 @@ JSON payloads inside the binary framing):
                epoch); the receiver merges it and replies with its own
                view under ``view``.
 =============  ===========================================================
+
+Trace propagation (:mod:`repro.obs`) rides the same negotiation: a
+tracing-capable peer adds ``"trace": 1`` to its ``hello`` and the server
+echoes it back when it can record spans.  After that, any message may
+carry a ``tc`` field — the compact trace-context wire string.  On the
+legacy codec (and on binary JSON payloads) ``tc`` is just another JSON
+key, so it crosses legacy peers untouched as an opaque extra field.  On
+packed binary frames the kind byte gets the ``0x80`` trace bit and the
+payload is prefixed with a packed 17-byte ``(trace_id, span_id, flags)``
+struct; traced packed kinds are only ever sent once both sides
+negotiated tracing, because v2 decoders reject unknown kinds.
 """
 
 from __future__ import annotations
@@ -78,6 +89,7 @@ import struct
 from typing import Any
 
 from repro.core.errors import ProtocolError
+from repro.obs.trace import TraceContext, parse_wire as _parse_trace
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -96,6 +108,7 @@ __all__ = [
     "encode_open_reply",
     "encode_open_request",
     "negotiate_codec",
+    "negotiate_trace",
     "StreamDecoder",
     "MessageReader",
     "send_message",
@@ -189,6 +202,12 @@ _KIND_READY = 3       # !BHH ok, len(context), len(file) + strings
 _KIND_OPEN_REPLY = 4  # !IBBd req, available, state index, wait
 _KIND_OK_REPLY = 5    # !I   req (empty success reply)
 
+#: Kind-byte bit marking a packed frame that carries a trace context:
+#: the payload is prefixed with ``_TRACE_CTX`` and the remainder decodes
+#: as the base kind.  Only sent after tracing was negotiated on hello.
+_KIND_TRACED = 0x80
+_TRACE_CTX = struct.Struct("!QQB")  # trace_id, span_id, flags
+
 _REQ_STRINGS = struct.Struct("!IHH")
 _READY_HDR = struct.Struct("!BHH")
 _OPEN_REPLY = struct.Struct("!IBBd")
@@ -211,17 +230,44 @@ def _pack_strings(head: bytes, context: str, filename: str) -> bytes:
     return head + context.encode("utf-8") + filename.encode("utf-8")
 
 
+def _pack_trace(tc: Any) -> bytes | None:
+    """Packed 17-byte trace prefix, or ``None`` when ``tc`` is not a
+    trace context (invalid values degrade to untraced, never an error)."""
+    if isinstance(tc, str):
+        tc = _parse_trace(tc)
+    if not isinstance(tc, TraceContext):
+        return None
+    return _TRACE_CTX.pack(tc.trace_id, tc.span_id, tc.flags)
+
+
 def encode_binary(message: dict[str, Any]) -> bytes:
     """Serialize one message as a binary frame.
 
     The hot ops get fixed struct layouts; anything else falls back to a
     JSON payload inside the binary framing.  The packed forms round-trip
     exactly (``decode`` of an ``encode`` reproduces the input dict).
+
+    A ``tc`` trace-context field does not cost a hot op its packed form:
+    the frame is packed without it and the kind byte gets the
+    ``_KIND_TRACED`` bit with the packed context prefixed to the payload.
+    On the JSON fallback ``tc`` simply stays an inline key.
     """
     op = message.get("op")
     if op is None:
         raise ProtocolError("message missing 'op'")
-    kind, payload = _pack_payload(op, message)
+    trace = None
+    if "tc" in message:
+        trace = _pack_trace(message["tc"])
+        if trace is not None:
+            body = {k: v for k, v in message.items() if k != "tc"}
+            kind, payload = _pack_payload(op, body)
+            if kind == _KIND_JSON:
+                trace = None  # tc rides inline in the JSON payload
+            else:
+                kind |= _KIND_TRACED
+                payload = trace + payload
+    if trace is None:
+        kind, payload = _pack_payload(op, message)
     if len(payload) > _MAX_MESSAGE:
         raise ProtocolError("binary frame exceeds maximum size")
     return _HEADER.pack(_MAGIC, kind, 0, len(payload)) + payload
@@ -290,6 +336,14 @@ def _unpack_strings(payload: bytes, offset: int, ctx_len: int, fname_len: int
 
 
 def _decode_binary_payload(kind: int, payload: bytes) -> dict[str, Any]:
+    if kind & _KIND_TRACED:
+        base = kind & ~_KIND_TRACED
+        if base == _KIND_JSON or len(payload) < _TRACE_CTX.size:
+            raise ProtocolError(f"malformed traced binary frame kind {kind}")
+        tid, sid, flags = _TRACE_CTX.unpack_from(payload)
+        message = _decode_binary_payload(base, payload[_TRACE_CTX.size:])
+        message["tc"] = f"{tid:016x}-{sid:016x}-{flags:02x}"
+        return message
     if kind == _KIND_JSON:
         try:
             message = json.loads(payload.decode("utf-8"))
@@ -342,7 +396,8 @@ def encode_frame(message: dict[str, Any], codec: str = CODEC_LEGACY) -> bytes:
 
 
 def encode_open_reply(
-    req: Any, available: bool, state: str, wait: float, codec: str
+    req: Any, available: bool, state: str, wait: float, codec: str,
+    tc: Any = None,
 ) -> bytes:
     """Fast path for the single hottest server frame: pack an ``open``
     reply straight from the handler result, skipping the intermediate
@@ -350,32 +405,48 @@ def encode_open_reply(
 
     Produces byte-identical output to ``encode_frame`` of the equivalent
     reply dict; anything unpackable falls back to the generic encoder.
+    ``tc`` (only for trace-negotiated peers) prefixes the packed trace
+    context and sets the traced kind bit; ``tc=None`` output is
+    bit-for-bit what pre-tracing builds emitted.
     """
     if codec == CODEC_BINARY and _is_req(req):
         state_idx = _STATE_INDEX.get(state)
         if state_idx is not None:
             payload = _OPEN_REPLY.pack(req, available, state_idx, wait)
-            return _HEADER.pack(_MAGIC, _KIND_OPEN_REPLY, 0, len(payload)) + payload
-    return encode_frame(
-        {"op": "reply", "req": req, "error": 0, "available": available,
-         "state": state, "wait": wait},
-        codec,
-    )
+            kind = _KIND_OPEN_REPLY
+            trace = _pack_trace(tc) if tc is not None else None
+            if trace is not None:
+                kind |= _KIND_TRACED
+                payload = trace + payload
+            return _HEADER.pack(_MAGIC, kind, 0, len(payload)) + payload
+    message = {"op": "reply", "req": req, "error": 0, "available": available,
+               "state": state, "wait": wait}
+    if tc is not None:
+        message["tc"] = tc if isinstance(tc, str) else tc.to_wire()
+    return encode_frame(message, codec)
 
 
-def encode_open_request(req: Any, context: str, filename: str, codec: str) -> bytes:
+def encode_open_request(req: Any, context: str, filename: str, codec: str,
+                        tc: Any = None) -> bytes:
     """Client-side twin of :func:`encode_open_reply`: pack an ``open``
     request straight from its fields (byte-identical to ``encode_frame``
-    of the equivalent dict; falls back for unpackable values)."""
+    of the equivalent dict; falls back for unpackable values).  ``tc``
+    behaves exactly as in :func:`encode_open_reply`."""
     if codec == CODEC_BINARY and _is_req(req):
         ctx = context.encode("utf-8")
         fname = filename.encode("utf-8")
         if len(ctx) < 1 << 16 and len(fname) < 1 << 16:
             payload = _REQ_STRINGS.pack(req, len(ctx), len(fname)) + ctx + fname
-            return _HEADER.pack(_MAGIC, _KIND_OPEN, 0, len(payload)) + payload
-    return encode_frame(
-        {"op": "open", "req": req, "context": context, "file": filename}, codec
-    )
+            kind = _KIND_OPEN
+            trace = _pack_trace(tc) if tc is not None else None
+            if trace is not None:
+                kind |= _KIND_TRACED
+                payload = trace + payload
+            return _HEADER.pack(_MAGIC, kind, 0, len(payload)) + payload
+    message = {"op": "open", "req": req, "context": context, "file": filename}
+    if tc is not None:
+        message["tc"] = tc if isinstance(tc, str) else tc.to_wire()
+    return encode_frame(message, codec)
 
 
 def negotiate_codec(hello: dict[str, Any]) -> str:
@@ -392,6 +463,20 @@ def negotiate_codec(hello: dict[str, Any]) -> str:
     if vers >= 2 and hello.get("codec") == CODEC_BINARY:
         return CODEC_BINARY
     return CODEC_LEGACY
+
+
+def negotiate_trace(hello: dict[str, Any]) -> bool:
+    """Server-side tracing choice for a ``hello`` message.
+
+    True when the client advertises protocol version >= 2 and asks for
+    tracing (``"trace": 1``).  Gates the traced *packed* binary kinds
+    only — JSON-carried ``tc`` fields need no negotiation.
+    """
+    try:
+        vers = int(hello.get("vers", 1))
+    except (TypeError, ValueError):
+        return False
+    return vers >= 2 and bool(hello.get("trace"))
 
 
 # --------------------------------------------------------------------- #

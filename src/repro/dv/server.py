@@ -65,8 +65,11 @@ from repro.dv.protocol import (
     encode_frame,
     encode_open_reply,
     negotiate_codec,
+    negotiate_trace,
 )
 from repro.metrics import MetricsRegistry
+from repro.obs import SpanRecorder
+from repro.obs.export import render_prometheus
 from repro.util.clock import WallClock
 
 __all__ = ["DVServer", "main"]
@@ -140,6 +143,9 @@ class _ClientConn:
     sock: socket.socket
     client_id: str | None = None
     codec: str = CODEC_LEGACY
+    #: Tracing negotiated on hello: traced packed binary frames (and
+    #: ``tc`` fields on replies/notifications) may be sent to this peer.
+    trace: bool = False
     contexts: set[str] = field(default_factory=set)
     send_lock: threading.Lock = field(default_factory=threading.Lock)
     decoder: StreamDecoder = field(default_factory=StreamDecoder)
@@ -184,9 +190,16 @@ class DVServer:
         self._num_workers = workers or max(2, min(8, os.cpu_count() or 2))
         self._clock = WallClock()
         self.metrics = MetricsRegistry()
-        self.launcher = ThreadedLauncher(self._clock, metrics=self.metrics)
+        # Span plane: every subsystem below (shards, launcher, cluster
+        # node, data plane) records into this one recorder; the node id
+        # is stamped in by the embedding layer (see repro.cluster.node).
+        self.obs = SpanRecorder(node="dv")
+        self.launcher = ThreadedLauncher(
+            self._clock, metrics=self.metrics, obs=self.obs
+        )
         self.coordinator = DVCoordinator(
-            self.launcher, notify=self._push_ready, metrics=self.metrics
+            self.launcher, notify=self._push_ready, metrics=self.metrics,
+            obs=self.obs,
         )
         self.launcher.bind(self.coordinator)
         # Client table: mutated by accept/handler threads, read by notifier
@@ -261,6 +274,9 @@ class DVServer:
             "batch": self._op_batch,
             "stats": self._op_stats,
             "fetch_info": self._op_fetch_info,
+            "trace": self._op_trace,
+            "trace_slow": self._op_trace_slow,
+            "metrics_text": self._op_metrics_text,
         }
         # (host, port) of the bulk data plane serving this daemon's files,
         # advertised through the fetch_info op (see set_data_endpoint).
@@ -722,6 +738,10 @@ class DVServer:
                 message = conn.decoder.next_message()
                 if message is None:
                     break
+                if "tc" in message:
+                    # Traced request: stamp arrival so dispatch can emit a
+                    # queue-wait span (untraced messages pay nothing).
+                    message["_obs_t0"] = time.time()
                 messages.append(message)
         except ProtocolError:
             # Unparseable or oversized stream: the only safe move is to
@@ -1066,6 +1086,7 @@ class DVServer:
         client_id = str(message.get("client_id"))
         context_name = message.get("context")
         codec = negotiate_codec(message)
+        trace = negotiate_trace(message)
         with self._clients_lock:
             if client_id in self._clients:
                 # A second hello reusing a live client_id would silently
@@ -1106,24 +1127,41 @@ class DVServer:
             "error": error, "detail": detail,
             "vers": PROTOCOL_VERSION, "codec": codec,
         }
+        if trace:
+            reply["trace"] = 1
         if self._hello_extra is not None:
             reply.update(self._hello_extra())
         self._send(conn, reply)
         conn.codec = codec
         conn.decoder.set_codec(codec)
+        conn.trace = trace
 
     def _handler_for(self, op):
         return self._handlers.get(op)
 
     def _dispatch(self, conn: _ClientConn, message: dict) -> None:
         started = time.perf_counter()
+        arrived = message.pop("_obs_t0", None)
         try:
             self._dispatch_op(conn, message)
         finally:
-            self._observe_op(message.get("op"), time.perf_counter() - started)
+            self._observe_op(
+                message.get("op"), time.perf_counter() - started,
+                message, arrived,
+            )
 
-    def _observe_op(self, op, elapsed: float) -> None:
-        """Record one op's service time (dispatch entry to reply queued)."""
+    def _observe_op(
+        self, op, elapsed: float, message: dict | None = None,
+        arrived: float | None = None,
+    ) -> None:
+        """Record one op's service time (dispatch entry to reply queued).
+
+        Traced messages additionally get an ``op.<op>`` span (plus a
+        queue-wait span when the arrival timestamp is known) and an
+        exemplar binding the latency bucket to the trace id; untraced
+        ones only pay the histogram observe unless they cross the tail
+        threshold.
+        """
         if not isinstance(op, str):
             op = "unknown"
         hist = self._op_hist.get(op)
@@ -1133,6 +1171,23 @@ class DVServer:
             )
             self._op_hist[op] = hist
         hist.observe(elapsed)
+        if message is None:
+            return
+        tc = message.get("tc")
+        if tc is None and elapsed < self.obs.slow_threshold:
+            return
+        end = time.time()
+        start = end - elapsed
+        self.obs.record(
+            f"op.{op}", tc, start, end,
+            context=message.get("context"), file=message.get("file"),
+        )
+        if tc is not None:
+            if arrived is not None and start > arrived:
+                self.obs.record("op.queue", tc, arrived, start)
+            self.obs.attach_exemplar(
+                f"op.{op}.seconds", hist.bounds, elapsed, tc
+            )
 
     def _dispatch_op(self, conn: _ClientConn, message: dict) -> None:
         op = message.get("op")
@@ -1168,10 +1223,11 @@ class DVServer:
             # from the handler result, no intermediate dict — and no
             # second handler execution on failure (handle_open pins
             # before it can fail, so a re-run would leak a refcount).
+            tc = message.get("tc")
             try:
                 result = self.coordinator.handle_open(
                     conn.client_id, message["context"], message["file"],
-                    self._clock.now(),
+                    self._clock.now(), tc=tc,
                 )
             except SimFSError as exc:
                 self._send(conn, {"op": "reply", "req": req,
@@ -1180,6 +1236,7 @@ class DVServer:
                 self._send_raw(conn, encode_open_reply(
                     req, result.available, result.state.value,
                     result.estimated_wait, conn.codec,
+                    tc=tc if conn.trace else None,
                 ))
             return
         handler = self._handler_for(op)
@@ -1211,7 +1268,7 @@ class DVServer:
     def _op_open(self, conn: _ClientConn, message: dict) -> dict:
         result = self.coordinator.handle_open(
             conn.client_id, message["context"], message["file"],
-            self._clock.now(),
+            self._clock.now(), tc=message.get("tc"),
         )
         return {
             "available": result.available,
@@ -1222,7 +1279,7 @@ class DVServer:
     def _op_acquire(self, conn: _ClientConn, message: dict) -> dict:
         results = self.coordinator.handle_acquire(
             conn.client_id, message["context"], list(message["files"]),
-            self._clock.now(),
+            self._clock.now(), tc=message.get("tc"),
         )
         return {
             "results": [
@@ -1365,6 +1422,46 @@ class DVServer:
             }
         return {"stats": snapshot}
 
+    # -- observability ops ------------------------------------------------ #
+    # The cluster node and the multi-core executor shadow these three with
+    # fan-out versions (register_op(..., replace=True)) that merge peer /
+    # executor recorders; the bodies below are the single-process view.
+    def trace_spans(self, trace_id: str | int) -> list[dict]:
+        """Retained spans of one trace on this daemon."""
+        return self.obs.trace(trace_id)
+
+    def slow_spans(self, limit: int = 20) -> list[dict]:
+        """Slowest retained spans on this daemon (tail-sampled view)."""
+        return self.obs.slow(limit)
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of this daemon's metrics plane."""
+        return render_prometheus(self.metrics.snapshot(), self.obs.exemplars())
+
+    def _op_trace(self, conn: _ClientConn, message: dict) -> dict:
+        trace_id = message.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            raise InvalidArgumentError("trace requires a 'trace_id' string")
+        return {"trace": {
+            "trace_id": trace_id.lower(),
+            "spans": self.trace_spans(trace_id),
+            "nodes": [self.obs.node],
+            "unreachable": [],
+        }}
+
+    def _op_trace_slow(self, conn: _ClientConn, message: dict) -> dict:
+        limit = int(message.get("limit", 20))
+        return {"slow": {
+            "spans": self.slow_spans(limit),
+            "journal": self.obs.journal_entries(limit=limit),
+            "nodes": [self.obs.node],
+            "unreachable": [],
+        }}
+
+    def _op_metrics_text(self, conn: _ClientConn, message: dict) -> dict:
+        return {"text": self.metrics_text(), "nodes": [self.obs.node],
+                "unreachable": []}
+
     # ------------------------------------------------------------------ #
     def _drop_client(self, conn: _ClientConn) -> None:
         if conn.client_id is not None:
@@ -1392,6 +1489,28 @@ class DVServer:
             # notification to the routing hook instead of dropping it.
             if self._ready_router is not None:
                 self._ready_router(notification)
+            return
+        tc = notification.tc
+        if tc is not None and conn.trace:
+            # Traced delivery bypasses the fan-out memo (the tc is
+            # per-waiter); only trace-negotiated peers may receive the
+            # traced frame, everyone else gets the shared untraced bytes.
+            start = time.time()
+            data = encode_frame({
+                "op": "ready",
+                "context": notification.context_name,
+                "file": notification.filename,
+                "ok": notification.ok,
+                "tc": tc,
+            }, conn.codec)
+            try:
+                self._send_raw(conn, data)
+            except OSError:
+                return
+            self.obs.record(
+                "ready.fanout", tc, start, time.time(),
+                context=notification.context_name, file=notification.filename,
+            )
             return
         data = self._encode_ready(notification, conn.codec)
         try:
@@ -1636,6 +1755,7 @@ def main(argv: list[str] | None = None) -> int:
             int(config["data_port"]),
             link_rate=config.get("data_link_rate"),
             metrics=getattr(server, "metrics", None),
+            obs=getattr(server, "obs", None),
         )
         server.set_data_endpoint(data_server.host, data_server.port)
     drivers = {"cosmo": CosmoDriver, "flash": FlashDriver, "synthetic": SyntheticDriver}
@@ -1675,6 +1795,19 @@ def main(argv: list[str] | None = None) -> int:
                 data_server.add_context(spec["name"], spec["output_dir"])
     service = node if node is not None else server
     service.start()
+    # Prometheus exporter endpoint (``"metrics_port": 0`` = ephemeral).
+    exporter = None
+    if config.get("metrics_port") is not None:
+        from repro.obs.export import MetricsExporter
+
+        source = getattr(service, "metrics_text", None) or server.metrics_text
+        exporter = MetricsExporter(
+            source, config.get("host", "127.0.0.1"),
+            int(config["metrics_port"]),
+        )
+        exporter.start()
+        print(f"simfs-dv metrics exporter on "
+              f"{config.get('host', '127.0.0.1')}:{exporter.port}/metrics")
     if data_server is not None:
         data_server.start()
         print(f"simfs-dv data plane on {data_server.host}:{data_server.port}")
@@ -1694,6 +1827,8 @@ def main(argv: list[str] | None = None) -> int:
         threading.Event().wait()
     except KeyboardInterrupt:
         service.stop()
+        if exporter is not None:
+            exporter.stop()
         if data_server is not None:
             data_server.stop()
     return 0

@@ -39,6 +39,7 @@ from repro.util.ema import ExponentialMovingAverage
 
 if TYPE_CHECKING:
     from repro.metrics import MetricsRegistry
+    from repro.obs import SpanRecorder
 
 __all__ = [
     "SimulationExecutor",
@@ -83,6 +84,10 @@ class RunningSim:
     produced_keys: set[int] = field(default_factory=set)
     first_output_time: float | None = None
     killed: bool = False
+    #: Trace context of the open that demanded this sim (wire string).
+    tc: str | None = None
+    #: Launch time on the span recorder's clock (see SpanRecorder.now).
+    obs_start: float | None = None
 
     @property
     def done(self) -> bool:
@@ -110,6 +115,9 @@ class Notification:
     context_name: str
     filename: str
     ok: bool = True
+    #: Trace context of the open that registered the waiter (wire string);
+    #: carried onto the ready frame so the fan-out hop is traced too.
+    tc: str | None = None
 
 
 class JobQueue:
@@ -162,12 +170,17 @@ class ContextShard:
         notify: Callable[[Notification], None],
         metrics: "MetricsRegistry | None" = None,
         on_evict_file: Callable[[str], None] | None = None,
+        obs: "SpanRecorder | None" = None,
     ) -> None:
         self.lock = threading.RLock()
         self.context = context
         self._executor = executor
         self._sim_ids = sim_ids
         self._notify = notify
+        self.obs = obs
+        # (key, client_id) -> (tc, recorder-clock wait start) for traced
+        # waiters: the basis of the "sim.wait" span at notification time.
+        self._waiter_obs: dict[tuple[int, str], tuple[str | None, float]] = {}
         config = context.config
 
         def evict_cb(key: int) -> None:
@@ -370,6 +383,7 @@ class ContextShard:
                 for client_id in waiting
             ]
             self.waiters.clear()
+            self._waiter_obs.clear()
         return attached, captured
 
     # ------------------------------------------------------------------ #
@@ -400,6 +414,7 @@ class ContextShard:
                     self.area.unpin(key)
             for key, waiting in list(self.waiters.items()):
                 waiting.discard(client_id)
+                self._waiter_obs.pop((key, client_id), None)
                 if not waiting:
                     del self.waiters[key]
             if agent is not None:
@@ -411,7 +426,10 @@ class ContextShard:
     # ------------------------------------------------------------------ #
     # Client data path
     # ------------------------------------------------------------------ #
-    def handle_open(self, client_id: str, filename: str, now: float) -> OpenResult:
+    def handle_open(
+        self, client_id: str, filename: str, now: float,
+        tc: str | None = None,
+    ) -> OpenResult:
         """An analysis wants ``filename`` (transparent open or acquire).
 
         On a hit the file is pinned for the client and the call reports it
@@ -452,8 +470,10 @@ class ContextShard:
             estimated = 0.0
             if not hit:
                 self.waiters.setdefault(key, set()).add(client_id)
+                if self.obs is not None and tc is not None:
+                    self._waiter_obs[(key, client_id)] = (tc, self.obs.now())
                 if key not in self.in_flight:
-                    sim = self._launch_demand(client_id, key, now)
+                    sim = self._launch_demand(client_id, key, now, tc=tc)
                     agent.note_demand_job(sim.start_restart, sim.stop_restart)
                 estimated = self._estimate_wait(key, now)
 
@@ -475,12 +495,14 @@ class ContextShard:
             )
 
     def handle_acquire(
-        self, client_id: str, filenames: list[str], now: float
+        self, client_id: str, filenames: list[str], now: float,
+        tc: str | None = None,
     ) -> list[OpenResult]:
         """``SIMFS_Acquire``: open semantics over a set of files."""
         with self.lock:
             return [
-                self.handle_open(client_id, name, now) for name in filenames
+                self.handle_open(client_id, name, now, tc=tc)
+                for name in filenames
             ]
 
     def handle_release(self, client_id: str, filename: str, now: float) -> None:
@@ -571,7 +593,8 @@ class ContextShard:
                 self.open_files[client_id].append(key)
                 self.last_served[client_id] = now
                 notifications.append(
-                    Notification(client_id, self.name, filename, ok=True)
+                    Notification(client_id, self.name, filename, ok=True,
+                                 tc=self._waiter_span(key, client_id))
                 )
             if sim is not None and sim.done:
                 self._sim_finished(sim, now)
@@ -605,6 +628,7 @@ class ContextShard:
                             self.name,
                             self.context.filename_of(key),
                             ok=False,
+                            tc=self._waiter_span(key, client_id, ok=False),
                         )
                     )
             self._start_queued(now)
@@ -615,6 +639,23 @@ class ContextShard:
     # ------------------------------------------------------------------ #
     # Internals (all called with the shard lock held)
     # ------------------------------------------------------------------ #
+    def _waiter_span(
+        self, key: int, client_id: str, ok: bool = True
+    ) -> str | None:
+        """Close out a traced waiter: emit its ``sim.wait`` span and hand
+        back the tc for the ready notification (None when untraced)."""
+        if self.obs is None:
+            return None
+        tc, began = self._waiter_obs.pop((key, client_id), (None, None))
+        if tc is None:
+            return None
+        self.obs.record(
+            "sim.wait", tc, began, self.obs.now(),
+            context=self.name, file=self.context.filename_of(key),
+            ok=None if ok else False,
+        )
+        return tc
+
     def _require_client(self, client_id: str) -> None:
         if client_id not in self.agents:
             raise InvalidArgumentError(
@@ -646,7 +687,9 @@ class ContextShard:
             return FileState.QUEUED
         return FileState.SIMULATING
 
-    def _launch_demand(self, client_id: str, key: int, now: float) -> RunningSim:
+    def _launch_demand(
+        self, client_id: str, key: int, now: float, tc: str | None = None
+    ) -> RunningSim:
         geo = self.context.geometry
         start_r, stop_r = geo.resim_job_extent(key)
         return self._launch(
@@ -656,6 +699,7 @@ class ContextShard:
             now=now,
             is_prefetch=False,
             owner=client_id,
+            tc=tc,
         )
 
     def _launch_prefetch(
@@ -688,6 +732,7 @@ class ContextShard:
         now: float,
         is_prefetch: bool,
         owner: str | None,
+        tc: str | None = None,
     ) -> RunningSim:
         geo = self.context.geometry
         planned = [
@@ -705,6 +750,7 @@ class ContextShard:
             is_prefetch=is_prefetch,
             owner_client=owner,
             planned_keys=planned,
+            tc=tc,
         )
         for key in planned:
             self.in_flight.setdefault(key, sim.sim_id)
@@ -719,6 +765,8 @@ class ContextShard:
 
     def _start(self, sim: RunningSim, now: float) -> None:
         sim.launch_time = now
+        if self.obs is not None and sim.tc is not None:
+            sim.obs_start = self.obs.now()
         self.sims[sim.sim_id] = sim
         self.total_restarts += 1
         if self._m_restarts is not None:
@@ -727,6 +775,16 @@ class ContextShard:
         self._executor.launch(self.context, sim)
 
     def _sim_finished(self, sim: RunningSim, now: float) -> None:
+        if (
+            self.obs is not None
+            and sim.tc is not None
+            and sim.obs_start is not None
+        ):
+            self.obs.record(
+                "sim.run", sim.tc, sim.obs_start, self.obs.now(),
+                context=self.name, sim_id=sim.sim_id,
+                prefetch=sim.is_prefetch or None,
+            )
         self.sims.pop(sim.sim_id, None)
         for key in sim.planned_keys:
             if self.in_flight.get(key) == sim.sim_id:

@@ -244,6 +244,12 @@ def merge_snapshots(snapshots: Sequence[dict[str, dict]]) -> dict[str, dict]:
             if metric["type"] in ("counter", "gauge"):
                 cur["value"] += metric["value"]
             else:
+                if set(cur.get("buckets", ())) != set(metric.get("buckets", ())):
+                    raise InvalidArgumentError(
+                        f"histogram {name!r} merged with mismatched bucket "
+                        f"layouts {sorted(cur.get('buckets', ()))} vs "
+                        f"{sorted(metric.get('buckets', ()))}"
+                    )
                 cur["count"] += metric["count"]
                 cur["sum"] += metric["sum"]
                 for edge in ("min", "max"):
@@ -307,6 +313,22 @@ class MetricsRegistry:
     def get(self, name: str) -> Counter | Gauge | Histogram | None:
         with self._lock:
             return self._metrics.get(name)
+
+    def prune(self, prefix: str) -> int:
+        """Drop every series whose name starts with ``prefix``.
+
+        Called on context unregister so per-context series (``dv.<ctx>.*``,
+        ``cache.<ctx>.*``) don't accumulate across register/unregister
+        churn.  Returns the number of series removed.  ``prefix`` must be
+        non-empty — pruning everything is never what a caller wants.
+        """
+        if not prefix:
+            raise InvalidArgumentError("prune() requires a non-empty prefix")
+        with self._lock:
+            doomed = [name for name in self._metrics if name.startswith(prefix)]
+            for name in doomed:
+                del self._metrics[name]
+        return len(doomed)
 
     def names(self) -> list[str]:
         with self._lock:

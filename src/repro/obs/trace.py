@@ -1,0 +1,86 @@
+"""Compact trace context propagated across every hop of a request.
+
+A trace context is ``(trace_id, span_id, flags)`` — two random 64-bit
+ids plus a flags byte (bit 0 = sampled).  On the wire it travels either
+as a packed 17-byte prefix on binary frames (:mod:`repro.dv.protocol`)
+or as a ``"tc"`` string field on JSON payloads::
+
+    "6f2a9c01d4e8b377-1b22c3d4e5f60718-01"
+     trace_id (16 hex)  span_id (16 hex)  flags (2 hex)
+
+The string form is the canonical interop representation: legacy peers
+carry it as an opaque extra JSON key, so tracing never needs a protocol
+version bump beyond the ``hello`` negotiation bit.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+
+__all__ = [
+    "FLAG_SAMPLED",
+    "TraceContext",
+    "new_trace",
+    "parse_wire",
+    "format_trace_id",
+]
+
+#: Flags bit 0: this trace was head-sampled — record its spans everywhere.
+FLAG_SAMPLED = 0x01
+
+_WIRE_RE = re.compile(r"\A([0-9a-f]{16})-([0-9a-f]{16})-([0-9a-f]{2})\Z")
+
+# Module-level RNG: id generation must not perturb any seeded global
+# random stream (the DES derives byte-identical outputs from those).
+_rng = random.Random()
+
+
+def _new_id() -> int:
+    value = 0
+    while not value:
+        value = _rng.getrandbits(64)
+    return value
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop's view of a trace: ids plus the sampling decision."""
+
+    trace_id: int
+    span_id: int
+    flags: int = FLAG_SAMPLED
+
+    @property
+    def sampled(self) -> bool:
+        return bool(self.flags & FLAG_SAMPLED)
+
+    def child(self) -> "TraceContext":
+        """A fresh span id under the same trace (downstream hop)."""
+        return TraceContext(self.trace_id, _new_id(), self.flags)
+
+    def to_wire(self) -> str:
+        return f"{self.trace_id:016x}-{self.span_id:016x}-{self.flags:02x}"
+
+
+def new_trace(sampled: bool = True) -> TraceContext:
+    """Start a new trace (the root span's context)."""
+    return TraceContext(_new_id(), _new_id(), FLAG_SAMPLED if sampled else 0)
+
+
+def parse_wire(value: object) -> TraceContext | None:
+    """Parse the wire string form; tolerant (None for anything invalid),
+    so a malformed ``tc`` field degrades to "untraced", never an error."""
+    if not isinstance(value, str):
+        return None
+    match = _WIRE_RE.match(value)
+    if match is None:
+        return None
+    return TraceContext(
+        int(match.group(1), 16), int(match.group(2), 16), int(match.group(3), 16)
+    )
+
+
+def format_trace_id(trace_id: int) -> str:
+    return f"{trace_id:016x}"

@@ -375,17 +375,30 @@ class TestContextLifecycle:
         dv.unregister_context("ctx")
         assert set(ex.killed) >= set(launched)
 
-    def test_metrics_counters_survive_reregistration(self):
+    def test_unregister_prunes_context_metrics_by_default(self):
+        dv, ctx, ex, _ = make_setup()
+        dv.handle_open("a1", "ctx", ctx.filename_of(6), now=0.0)
+        assert dv.metrics.get("dv.ctx.opens") is not None
+        dv.unregister_context("ctx")
+        # Per-context series are dropped so register/unregister churn
+        # (migrations, failovers) cannot grow the registry without bound.
+        assert dv.metrics.get("dv.ctx.opens") is None
+        assert not [
+            n for n in dv.metrics.names()
+            if n.startswith("dv.ctx.") or n.startswith("cache.ctx.")
+        ]
+
+    def test_metrics_counters_survive_reregistration_when_not_pruned(self):
         dv, ctx, ex, _ = make_setup()
         dv.handle_open("a1", "ctx", ctx.filename_of(6), now=0.0)
         opens = dv.metrics.get("dv.ctx.opens")
         assert opens is not None and opens.value == 1
-        dv.unregister_context("ctx")
+        dv.unregister_context("ctx", prune_metrics=False)
         dv.register_context(ctx)
         dv.client_connect("a1", "ctx")
         dv.handle_open("a1", "ctx", ctx.filename_of(8), now=1.0)
         # Same instrument, same series: the registry is get-or-create, so
-        # a re-registered context resumes its counters instead of
-        # resetting them.
+        # with pruning disabled a re-registered context resumes its
+        # counters instead of resetting them.
         assert dv.metrics.get("dv.ctx.opens") is opens
         assert opens.value == 2

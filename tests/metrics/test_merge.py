@@ -117,6 +117,31 @@ class TestMergeSnapshots:
         assert merged["h"]["p99"] >= 0.01
         assert merged["h"]["p99"] <= 5.0
 
+    def test_empty_histograms_merge_to_null_percentiles(self):
+        a = self.build(lambda r: r.histogram("h", buckets=(0.01, 0.1)))
+        b = self.build(lambda r: r.histogram("h", buckets=(0.01, 0.1)))
+        merged = merge_snapshots([a, b])
+        assert merged["h"]["count"] == 0
+        assert merged["h"]["min"] is None
+        assert merged["h"]["max"] is None
+        assert merged["h"]["p50"] is None
+        assert merged["h"]["p99"] is None
+
+    def test_empty_histogram_merges_with_populated_one(self):
+        a = self.build(lambda r: r.histogram("h", buckets=(0.01, 0.1)))
+        b = self.build(lambda r: r.histogram("h", buckets=(0.01, 0.1))
+                       .observe(0.05))
+        merged = merge_snapshots([a, b])
+        assert merged["h"]["count"] == 1
+        assert merged["h"]["min"] == pytest.approx(0.05)
+        assert merged["h"]["p50"] == pytest.approx(0.05)
+
+    def test_mismatched_bucket_layouts_rejected(self):
+        a = self.build(lambda r: r.histogram("h", buckets=(0.01, 0.1)))
+        b = self.build(lambda r: r.histogram("h", buckets=(0.5, 2.0)))
+        with pytest.raises(InvalidArgumentError):
+            merge_snapshots([a, b])
+
     def test_type_mismatch_rejected(self):
         a = self.build(lambda r: r.counter("x").inc())
         b = self.build(lambda r: r.gauge("x").set(1))

@@ -1,0 +1,121 @@
+"""Prometheus exposition renderer and the HTTP exporter."""
+
+import urllib.error
+import urllib.request
+
+from repro.metrics import MetricsRegistry
+from repro.obs.export import MetricsExporter, render_prometheus
+from repro.obs.recorder import SpanRecorder
+from repro.obs.trace import new_trace
+
+
+class TestRenderPrometheus:
+    def test_counter_and_gauge(self):
+        text = render_prometheus(
+            {
+                "wire.frames_sent": {"type": "counter", "value": 3},
+                "pool.size": {"type": "gauge", "value": 2.0},
+            }
+        )
+        assert "# TYPE wire_frames_sent counter" in text
+        assert "wire_frames_sent 3" in text
+        assert "# TYPE pool_size gauge" in text
+        assert "pool_size 2" in text
+        assert text.endswith("\n")
+
+    def test_histogram_cumulative_buckets(self):
+        text = render_prometheus(
+            {
+                "op.open.seconds": {
+                    "type": "histogram",
+                    "buckets": {"0.1": 2, "1.0": 1, "+inf": 1},
+                    "sum": 2.5,
+                    "count": 4,
+                }
+            }
+        )
+        lines = text.splitlines()
+        assert "# TYPE op_open_seconds histogram" in lines
+        assert 'op_open_seconds_bucket{le="0.1"} 2' in lines
+        assert 'op_open_seconds_bucket{le="1"} 3' in lines
+        assert 'op_open_seconds_bucket{le="+Inf"} 4' in lines
+        assert "op_open_seconds_sum 2.5" in lines
+        assert "op_open_seconds_count 4" in lines
+
+    def test_exemplar_suffix(self):
+        text = render_prometheus(
+            {
+                "op.open.seconds": {
+                    "type": "histogram",
+                    "buckets": {"1.0": 1, "+inf": 0},
+                    "sum": 0.5,
+                    "count": 1,
+                }
+            },
+            exemplars={
+                "op.open.seconds": {
+                    repr(1.0): {"trace_id": "ab" * 8, "value": 0.5}
+                }
+            },
+        )
+        assert (
+            'op_open_seconds_bucket{le="1"} 1'
+            ' # {trace_id="abababababababab"} 0.5'
+        ) in text.splitlines()
+
+    def test_exemplars_from_recorder_match_renderer_keys(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("op.open.seconds", buckets=(0.1, 1.0))
+        hist.observe(0.5)
+        rec = SpanRecorder(node="n0")
+        rec.attach_exemplar("op.open.seconds", (0.1, 1.0), 0.5, new_trace())
+        text = render_prometheus(registry.snapshot(), rec.exemplars())
+        assert "# {trace_id=" in text
+
+    def test_unknown_type_untyped(self):
+        text = render_prometheus({"odd": {"type": "mystery", "value": 7}})
+        assert "# TYPE odd untyped" in text
+        assert "odd 7" in text
+
+    def test_empty_snapshot(self):
+        assert render_prometheus({}) == ""
+
+    def test_name_sanitization(self):
+        text = render_prometheus(
+            {"9bad-name.x": {"type": "counter", "value": 1}}
+        )
+        assert "_9bad_name_x 1" in text
+
+
+class TestMetricsExporter:
+    def test_serves_metrics_over_http(self):
+        exporter = MetricsExporter(lambda: "demo_metric 1\n")
+        exporter.start()
+        try:
+            url = f"http://127.0.0.1:{exporter.port}/metrics"
+            with urllib.request.urlopen(url, timeout=5.0) as resp:
+                assert resp.status == 200
+                assert b"demo_metric 1" in resp.read()
+                assert "text/plain" in resp.headers["Content-Type"]
+        finally:
+            exporter.stop()
+
+    def test_unknown_path_404(self):
+        exporter = MetricsExporter(lambda: "x 1\n")
+        exporter.start()
+        try:
+            url = f"http://127.0.0.1:{exporter.port}/nope"
+            try:
+                urllib.request.urlopen(url, timeout=5.0)
+                raised = False
+            except urllib.error.HTTPError as exc:
+                raised = exc.code == 404
+            assert raised
+        finally:
+            exporter.stop()
+
+    def test_stop_idempotent(self):
+        exporter = MetricsExporter(lambda: "")
+        exporter.start()
+        exporter.stop()
+        exporter.stop()

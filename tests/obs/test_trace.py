@@ -1,0 +1,82 @@
+"""Trace context: ids, wire form, parsing tolerance."""
+
+import pytest
+
+from repro.obs.trace import (
+    FLAG_SAMPLED,
+    TraceContext,
+    format_trace_id,
+    new_trace,
+    parse_wire,
+)
+
+
+class TestTraceContext:
+    def test_new_trace_is_sampled_by_default(self):
+        tc = new_trace()
+        assert tc.sampled
+        assert tc.flags == FLAG_SAMPLED
+        assert tc.trace_id != 0
+        assert tc.span_id != 0
+
+    def test_new_trace_unsampled(self):
+        tc = new_trace(sampled=False)
+        assert not tc.sampled
+        assert tc.flags == 0
+
+    def test_child_keeps_trace_id_and_flags(self):
+        tc = new_trace()
+        child = tc.child()
+        assert child.trace_id == tc.trace_id
+        assert child.flags == tc.flags
+        assert child.span_id != tc.span_id
+
+    def test_ids_are_unique_across_traces(self):
+        ids = {new_trace().trace_id for _ in range(64)}
+        assert len(ids) == 64
+
+    def test_frozen(self):
+        tc = new_trace()
+        with pytest.raises(AttributeError):
+            tc.trace_id = 1
+
+
+class TestWireForm:
+    def test_roundtrip(self):
+        tc = TraceContext(0x6F2A9C01D4E8B377, 0x1B22C3D4E5F60718, FLAG_SAMPLED)
+        wire = tc.to_wire()
+        assert wire == "6f2a9c01d4e8b377-1b22c3d4e5f60718-01"
+        assert parse_wire(wire) == tc
+
+    def test_roundtrip_random(self):
+        for _ in range(16):
+            tc = new_trace()
+            assert parse_wire(tc.to_wire()) == tc
+
+    def test_unsampled_roundtrip(self):
+        tc = new_trace(sampled=False)
+        parsed = parse_wire(tc.to_wire())
+        assert parsed is not None
+        assert not parsed.sampled
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            None,
+            42,
+            b"6f2a9c01d4e8b377-1b22c3d4e5f60718-01",
+            "",
+            "not-a-trace",
+            "6f2a9c01d4e8b377-1b22c3d4e5f60718",  # missing flags
+            "6f2a9c01d4e8b377-1b22c3d4e5f60718-1",  # short flags
+            "6F2A9C01D4E8B377-1B22C3D4E5F60718-01",  # uppercase rejected
+            "6f2a9c01d4e8b377-1b22c3d4e5f60718-01\n",  # trailing garbage
+            "x" * 35,
+        ],
+    )
+    def test_parse_wire_tolerates_garbage(self, bad):
+        assert parse_wire(bad) is None
+
+    def test_format_trace_id(self):
+        assert format_trace_id(0xAB) == "00000000000000ab"
+        assert len(format_trace_id(new_trace().trace_id)) == 16
